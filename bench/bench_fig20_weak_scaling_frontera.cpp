@@ -1,0 +1,79 @@
+/// \file bench_fig20_weak_scaling_frontera.cpp
+/// \brief Regenerates Fig. 20: weak scaling of one RK4 step on Frontera
+/// with the per-phase cost breakdown (octant-to-patch, RHS, patch-to-octant
+/// / update, communication). Real per-phase op counts feed the Cascade
+/// Lake per-core model; real SFC partitions supply load balance and halo
+/// volumes up to the sizes a single core can build, and the same
+/// surface-to-volume model extrapolates to the paper's 229,376-core run.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "comm/partition.hpp"
+#include "perf/machine_model.hpp"
+#include "simgpu/gpu_bssn.hpp"
+
+int main() {
+  using namespace dgr;
+  bench::header("Fig. 20",
+                "Frontera weak scaling: per-phase cost of one RK4 step");
+
+  // Per-octant per-RHS-eval op counts by phase, measured once.
+  auto m0 = bench::bbh_mesh(1.0, 16.0, 2.0, 2, 4);
+  simgpu::GpuBssnSolver gpu(m0, simgpu::GpuSolverConfig{});
+  bssn::BssnState s;
+  bench::init_bbh_state(*m0, 1.0, 2.0, s);
+  gpu.upload(s);
+  gpu.rk4_step();
+  const double n_evals = 4.0 * double(m0->num_octants());
+  const perf::MachineModel node = perf::frontera_node();
+  // Per-core slice of the node model (56 cores/node).
+  perf::MachineModel core = node;
+  core.tau_f *= 56;
+  core.tau_m *= 56;
+  const auto phase_cost = [&](const char* kernel) {
+    return gpu.runtime().record(kernel).modeled_seconds(core) /
+           n_evals;  // seconds per octant per evaluation, one core
+  };
+  const double c_unzip = phase_cost("octant-to-patch");
+  const double c_rhs = phase_cost("bssn-rhs");
+  const double c_zip = phase_cost("patch-to-octant") + phase_cost("axpy");
+
+  // ~500K unknowns per core ~ 60 octants/core (343 pts x 24 vars).
+  const double oct_per_core = 500e3 / (mesh::kOctPts * 24.0);
+  const perf::NetworkModel net = perf::infiniband();
+
+  std::printf(
+      "  cores   | unknowns | o2p (s)  | RHS (s)  | zip+update | comm (s) | "
+      "total/step\n");
+  for (long cores : {56L, 448L, 3584L, 28672L, 114688L, 229376L}) {
+    const double work_oct = oct_per_core;  // weak scaling: constant/core
+    // Halo: ghost layer of an SFC part of ~60 octants is ~O(surface);
+    // measured from a real partition at small scale, constant beyond.
+    static double ghost_per_rank = -1;
+    if (ghost_per_rank < 0) {
+      const int ranks =
+          std::max(2, int(m0->num_octants() / oct_per_core));
+      const auto part = comm::partition_mesh(*m0, ranks);
+      double g = 0;
+      for (int r = 0; r < ranks; ++r) g += double(part.ghost_octants[r]);
+      ghost_per_rank = g / ranks;
+    }
+    const std::uint64_t halo_bytes =
+        std::uint64_t(ghost_per_rank) * mesh::kOctPts * 24 * sizeof(Real);
+    // One RK4 step = 4 evaluations; comm once per evaluation.
+    const double t_unzip = 4 * work_oct * c_unzip;
+    const double t_rhs = 4 * work_oct * c_rhs;
+    const double t_zip = 4 * work_oct * c_zip;
+    const double t_comm = 4 * net.time(halo_bytes, 8);
+    const double unknowns = double(cores) * 500e3;
+    std::printf(
+        "  %-7ld | %-7.2gB | %-8.3f | %-8.3f | %-10.3f | %-8.4f | %-8.3f\n",
+        cores, unknowns / 1e9, t_unzip, t_rhs, t_zip, t_comm,
+        t_unzip + t_rhs + t_zip + t_comm);
+  }
+  bench::note("weak scaling keeps per-core work constant; the halo volume per");
+  bench::note("rank saturates (surface-to-volume), so the breakdown stays flat");
+  bench::note("out to 229,376 cores / 118B unknowns, as in the paper.");
+  return 0;
+}

@@ -1,0 +1,83 @@
+/// \file binary_blackhole.cpp
+/// \brief A scaled-down binary-black-hole evolution exercising the full
+/// production pipeline: adaptive BBH grid, Bowen–York momenta, the
+/// simulated-GPU Algorithm 1 evolution with periodic regridding, and
+/// gravitational-wave extraction written to psi4_22.csv.
+///
+///   ./build/examples/binary_blackhole [steps=8] [q=1]
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+
+#include "bssn/initial_data.hpp"
+#include "gw/extract.hpp"
+#include "simgpu/gpu_bssn.hpp"
+#include "solver/bssn_ctx.hpp"
+#include "solver/regrid.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dgr;
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 8;
+  const Real q = argc > 2 ? std::atof(argv[2]) : 1.0;
+  const Real sep = 2.0;
+  const int regrid_every = 4;  // Algorithm 1's f_r
+
+  // Grid: domain +-16 M, puncture cascade to level 4.
+  oct::Domain domain{16.0};
+  auto punctures = bssn::make_binary(q, sep);
+  for (auto& p : punctures) {
+    p.pos[1] = 0.011;  // keep punctures off grid lines
+    p.pos[2] = 0.007;
+  }
+  std::vector<oct::Puncture> refine;
+  for (const auto& p : punctures) refine.push_back({p.pos, 4});
+  auto mesh = std::make_shared<mesh::Mesh>(
+      oct::build_puncture_octree(domain, refine, 2), domain);
+
+  solver::SolverConfig config;
+  config.bssn.ko_sigma = 0.3;
+  solver::BssnCtx ctx(mesh, config);
+  bssn::set_punctures(*mesh, punctures, ctx.state());
+  std::printf("q = %.1f binary: %zu octants, %.2fM unknowns, dt = %.4f M\n",
+              q, mesh->num_octants(), mesh->num_dofs() * 24 / 1e6,
+              ctx.suggested_dt());
+
+  // Extraction spheres (scaled versions of the paper's 50-100 M shells).
+  gw::WaveExtractor extractor({5.0, 6.0, 7.0}, /*lmax=*/2, /*quad=*/8);
+  gw::ModeTimeSeries wave22;
+  wave22.radius = 6.0;
+
+  solver::RegridConfig rc;
+  rc.eps = 3e-2;
+  rc.max_level = 5;
+  rc.min_level = 2;
+
+  for (int i = 0; i < steps; ++i) {
+    ctx.rk4_step();
+    const auto modes =
+        extractor.extract_from_state(ctx.mesh(), ctx.state(), config.bssn);
+    wave22.append(ctx.time(), modes[1].mode(2, 2) * Real(6.0));
+    std::printf("  step %2d  t=%7.4f  Re r*psi4_22 = %+.4e  (|H| via r=%.0f "
+                "sphere)\n",
+                i + 1, ctx.time(), wave22.values.back().real(),
+                modes[1].radius);
+    if ((i + 1) % regrid_every == 0) {
+      auto next = solver::regrid_mesh(ctx.mesh(), ctx.state(), rc);
+      if (next) {
+        std::printf("  regrid: %zu -> %zu octants\n",
+                    ctx.mesh().num_octants(), next->num_octants());
+        ctx.remesh(next);
+      }
+    }
+  }
+
+  std::ofstream csv("psi4_22.csv");
+  csv << "t,re,im\n";
+  for (std::size_t i = 0; i < wave22.times.size(); ++i)
+    csv << wave22.times[i] << "," << wave22.values[i].real() << ","
+        << wave22.values[i].imag() << "\n";
+  std::printf("wrote psi4_22.csv (%zu samples)\n", wave22.times.size());
+  return 0;
+}

@@ -1,0 +1,71 @@
+/// \file gw_extraction.cpp
+/// \brief Gravitational-wave extraction walkthrough: spin-weighted
+/// spherical harmonics, sphere quadrature, mode decomposition of an
+/// analytic signal, and the type-D check (Psi4 ~ 0 for a single static
+/// black hole viewed through the radial tetrad).
+///
+///   ./build/examples/gw_extraction
+
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <memory>
+
+#include "bssn/initial_data.hpp"
+#include "gw/extract.hpp"
+#include "gw/psi4.hpp"
+#include "gw/swsh.hpp"
+
+int main() {
+  using namespace dgr;
+  constexpr Real kPi = 3.14159265358979323846;
+
+  // 1. The basis: spin-weight -2 spherical harmonics.
+  std::printf("-2Y22(pi/3, 0)       = %.6f  (closed form %.6f)\n",
+              gw::swsh_m2(2, 2, kPi / 3, 0).real(),
+              std::sqrt(5.0 / (64 * kPi)) * std::pow(1 + 0.5, 2));
+
+  // 2. Decompose an analytic signal: 2*(-2Y22) + (1-0.5i)*(-2Y2-1).
+  gw::WaveExtractor extractor({1.0}, /*lmax=*/3, /*quad=*/10);
+  const auto& quad = extractor.quadrature();
+  std::vector<gw::Complex> samples(quad.size());
+  for (std::size_t i = 0; i < quad.size(); ++i) {
+    const auto& n = quad.points[i];
+    const Real th = std::acos(n[2]);
+    const Real ph = std::atan2(n[1], n[0]);
+    samples[i] = 2.0 * gw::swsh_m2(2, 2, th, ph) +
+                 gw::Complex{1.0, -0.5} * gw::swsh_m2(2, -1, th, ph);
+  }
+  const auto modes = extractor.decompose(samples);
+  std::printf("decomposed (2, 2): %.4f%+.4fi  expected 2\n",
+              modes.mode(2, 2).real(), modes.mode(2, 2).imag());
+  std::printf("decomposed (2,-1): %.4f%+.4fi  expected 1-0.5i\n",
+              modes.mode(2, -1).real(), modes.mode(2, -1).imag());
+  std::printf("decomposed (3, 0): %.1e (spurious leakage)\n",
+              std::abs(modes.mode(3, 0)));
+
+  // 3. Physics check: a single (Schwarzschild) puncture is Petrov type D —
+  //    the radial quasi-Kinnersley tetrad sees essentially zero Psi4, even
+  //    though the Coulomb curvature M/r^3 is finite.
+  oct::Domain dom{8.0};
+  auto mesh = std::make_shared<mesh::Mesh>(oct::Octree::uniform(3), dom);
+  bssn::BssnState s;
+  bssn::set_punctures(*mesh, {{1.0, {0.02, 0.013, 0.009}, {0, 0, 0}, {0, 0, 0}}},
+                      s);
+  gw::WaveExtractor far({4.0}, 2, 8);
+  const auto bh = far.extract_from_state(*mesh, s, bssn::BssnParams{});
+  std::printf(
+      "Schwarzschild |psi4_22| at r=4M: %.2e   (Coulomb scale M/r^3 = "
+      "%.2e)\n",
+      std::abs(bh[0].mode(2, 2)), 1.0 / 64.0);
+
+  // 4. Two separated punctures break type D: quadrupole content appears.
+  bssn::set_punctures(*mesh,
+                      {{0.5, {1.0, 0.01, 0.013}, {0, 0, 0}, {0, 0, 0}},
+                       {0.5, {-1.0, 0.01, 0.013}, {0, 0, 0}, {0, 0, 0}}},
+                      s);
+  const auto bbh = far.extract_from_state(*mesh, s, bssn::BssnParams{});
+  std::printf("binary |psi4_22| at r=4M:        %.2e\n",
+              std::abs(bbh[0].mode(2, 2)));
+  return 0;
+}

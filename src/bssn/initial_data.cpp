@@ -1,0 +1,95 @@
+#include "bssn/initial_data.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dgr::bssn {
+
+std::vector<PunctureData> make_binary(Real q, Real separation) {
+  DGR_CHECK(q >= 1.0 && separation > 0.0);
+  // Bare masses summing to 1, placed on the x axis around the center of
+  // mass; tangential momenta from the Newtonian circular-orbit estimate
+  // P = mu * sqrt(M/d) with reduced mass mu.
+  const Real m1 = q / (1.0 + q);
+  const Real m2 = 1.0 / (1.0 + q);
+  const Real x1 = separation * m2;   // m1 * x1 = m2 * x2 (c.o.m. at origin)
+  const Real x2 = -separation * m1;
+  const Real mu = m1 * m2;           // total mass M = 1
+  const Real p = mu * std::sqrt(1.0 / separation);
+  std::vector<PunctureData> out(2);
+  out[0] = {m1, {x1, 0, 0}, {0, p, 0}, {0, 0, 0}};
+  out[1] = {m2, {x2, 0, 0}, {0, -p, 0}, {0, 0, 0}};
+  return out;
+}
+
+void set_minkowski(const mesh::Mesh& mesh, BssnState& state) {
+  state.resize(mesh.num_dofs());
+  for (int v = 0; v < kNumVars; ++v) {
+    const Real a = var_asymptotic(v);
+    Real* f = state.field(v);
+    for (std::size_t d = 0; d < mesh.num_dofs(); ++d) f[d] = a;
+  }
+}
+
+Real bl_conformal_factor(const std::vector<PunctureData>& punctures, Real x,
+                         Real y, Real z, Real r_floor) {
+  Real psi = 1.0;
+  for (const auto& p : punctures) {
+    const Real dx = x - p.pos[0], dy = y - p.pos[1], dz = z - p.pos[2];
+    const Real r = std::max(std::sqrt(dx * dx + dy * dy + dz * dz), r_floor);
+    psi += p.mass / (2.0 * r);
+  }
+  return psi;
+}
+
+void set_punctures(const mesh::Mesh& mesh,
+                   const std::vector<PunctureData>& punctures,
+                   BssnState& state, Real r_floor) {
+  set_minkowski(mesh, state);
+  const std::size_t n = mesh.num_dofs();
+  for (std::size_t d = 0; d < n; ++d) {
+    const auto pos = mesh.dof_position(static_cast<DofIndex>(d));
+    const Real psi =
+        bl_conformal_factor(punctures, pos[0], pos[1], pos[2], r_floor);
+    const Real chi = 1.0 / std::pow(psi, 4);
+    state.field(kChi)[d] = chi;
+    state.field(kAlpha)[d] = 1.0 / (psi * psi);  // pre-collapsed lapse
+
+    // Bowen–York conformal extrinsic curvature, summed over punctures:
+    //   Ahat_ij = 3/(2 r^2) [P_i n_j + P_j n_i - (delta_ij - n_i n_j) P.n]
+    //           + 3/r^3 [eps_kil S^k n^l n_j + eps_kjl S^k n^l n_i].
+    // Physical K_ij = psi^-2 Ahat_ij, so At_ij = chi K_ij = psi^-6 Ahat_ij.
+    Real Ahat[6] = {0, 0, 0, 0, 0, 0};
+    for (const auto& p : punctures) {
+      const Real dx = pos[0] - p.pos[0];
+      const Real dy = pos[1] - p.pos[1];
+      const Real dz = pos[2] - p.pos[2];
+      const Real r =
+          std::max(std::sqrt(dx * dx + dy * dy + dz * dz), r_floor);
+      const Real nvec[3] = {dx / r, dy / r, dz / r};
+      const Real* P = p.momentum.data();
+      const Real* S = p.spin.data();
+      const Real Pn = P[0] * nvec[0] + P[1] * nvec[1] + P[2] * nvec[2];
+      // (S x n)_i = eps_ikl S^k n^l.
+      const Real Sxn[3] = {S[1] * nvec[2] - S[2] * nvec[1],
+                           S[2] * nvec[0] - S[0] * nvec[2],
+                           S[0] * nvec[1] - S[1] * nvec[0]};
+      for (int i = 0; i < 3; ++i)
+        for (int j = i; j < 3; ++j) {
+          const Real dij = (i == j) ? 1.0 : 0.0;
+          Real lin = P[i] * nvec[j] + P[j] * nvec[i] -
+                     (dij - nvec[i] * nvec[j]) * Pn;
+          lin *= 3.0 / (2.0 * r * r);
+          Real sp = Sxn[i] * nvec[j] + Sxn[j] * nvec[i];
+          sp *= 3.0 / (r * r * r);
+          Ahat[sym_idx(i, j)] += lin + sp;
+        }
+    }
+    const Real psi6 = std::pow(psi, 6);
+    for (int s = 0; s < 6; ++s)
+      state.field(kAtxx + s)[d] = Ahat[s] / psi6;
+  }
+}
+
+}  // namespace dgr::bssn

@@ -1,0 +1,50 @@
+#pragma once
+/// \file initial_data.hpp
+/// \brief Puncture initial data for binary black holes.
+///
+/// The paper's production runs solve the two-puncture elliptic problem with
+/// a separate `tpid` solver. Here we provide the closed-form families that
+/// cover the same code paths without an elliptic solve (documented
+/// substitution in DESIGN.md):
+///  - Minkowski (flat space),
+///  - Brill–Lindquist N-puncture data (exact for zero momenta/spins),
+///  - Bowen–York extrinsic curvature with the Brill–Lindquist conformal
+///    factor (approximate for nonzero momenta, as in standard moving
+///    puncture test setups).
+/// The lapse is pre-collapsed (alpha = psi^-2) and the shift starts at zero.
+
+#include <array>
+#include <vector>
+
+#include "bssn/state.hpp"
+#include "mesh/mesh.hpp"
+
+namespace dgr::bssn {
+
+/// One puncture: bare mass, position, linear momentum, spin.
+struct PunctureData {
+  Real mass = 1.0;
+  std::array<Real, 3> pos{0, 0, 0};
+  std::array<Real, 3> momentum{0, 0, 0};
+  std::array<Real, 3> spin{0, 0, 0};
+};
+
+/// Quasi-circular binary of mass ratio q = m1/m2 at separation d (total
+/// bare mass ~1), with tangential momenta from the Newtonian circular-orbit
+/// estimate — the standard scaled-down BBH setup.
+std::vector<PunctureData> make_binary(Real q, Real separation);
+
+/// Fill `state` with Minkowski data.
+void set_minkowski(const mesh::Mesh& mesh, BssnState& state);
+
+/// Fill `state` with puncture data. `r_floor` regularizes 1/r at the
+/// punctures (punctures are additionally assumed to sit off grid points).
+void set_punctures(const mesh::Mesh& mesh,
+                   const std::vector<PunctureData>& punctures,
+                   BssnState& state, Real r_floor = 1e-6);
+
+/// Brill–Lindquist conformal factor psi at a point.
+Real bl_conformal_factor(const std::vector<PunctureData>& punctures, Real x,
+                         Real y, Real z, Real r_floor = 1e-6);
+
+}  // namespace dgr::bssn

@@ -1,0 +1,168 @@
+#include "bssn/rhs.hpp"
+
+#include <cmath>
+
+#include "bssn/algebra.hpp"
+#include "common/error.hpp"
+#include "fd/stencils.hpp"
+
+namespace dgr::bssn {
+
+using mesh::kPad;
+using mesh::kPatch;
+using mesh::kPatchPts;
+using mesh::kR;
+using mesh::patch_idx;
+
+DerivWorkspace::DerivWorkspace()
+    : grad(static_cast<std::size_t>(kNumVars) * 3 * kPatchPts),
+      agrad(static_cast<std::size_t>(kNumVars) * 3 * kPatchPts),
+      hess(static_cast<std::size_t>(kSecondDerivVars.size()) * 6 * kPatchPts),
+      ko(static_cast<std::size_t>(kNumVars) * kPatchPts),
+      scratch(kPatchPts) {}
+
+int hess_slot(int var) {
+  for (std::size_t s = 0; s < kSecondDerivVars.size(); ++s)
+    if (kSecondDerivVars[s] == var) return static_cast<int>(s);
+  return -1;
+}
+
+void bssn_deriv_stage(const Real* const in[kNumVars], Real h,
+                      DerivWorkspace& ws, OpCounts* counts) {
+  // First derivatives (72 evaluations) + upwind advective derivatives.
+  for (int v = 0; v < kNumVars; ++v) {
+    for (int axis = 0; axis < 3; ++axis) {
+      fd::d1(in[v], ws.grad_of(v, axis), axis, h);
+      fd::d1_upwind(in[v], in[kBeta0 + axis], ws.agrad_of(v, axis), axis, h);
+    }
+    // KO dissipation folded over the three axes (the paper counts the 72
+    // directional KO derivatives; the combined apply is equivalent work).
+    fd::ko_dissipation(in[v], ws.ko_of(v), 1.0, h);  // sigma applied in A
+  }
+  // Second derivatives (66 evaluations) for the 11 Hessian variables.
+  for (std::size_t s = 0; s < kSecondDerivVars.size(); ++s) {
+    const int v = kSecondDerivVars[s];
+    fd::d2(in[v], ws.hess_of(s, sym_idx(0, 0)), 0, h);
+    fd::d2(in[v], ws.hess_of(s, sym_idx(1, 1)), 1, h);
+    fd::d2(in[v], ws.hess_of(s, sym_idx(2, 2)), 2, h);
+    fd::d2_mixed(in[v], ws.scratch.data(), ws.hess_of(s, sym_idx(0, 1)), 0, 1,
+                 h);
+    fd::d2_mixed(in[v], ws.scratch.data(), ws.hess_of(s, sym_idx(0, 2)), 0, 2,
+                 h);
+    fd::d2_mixed(in[v], ws.scratch.data(), ws.hess_of(s, sym_idx(1, 2)), 1, 2,
+                 h);
+  }
+  if (counts) {
+    const std::uint64_t pts = kR * kR * kR;
+    counts->flops +=
+        pts * (kNumVars * 3ull * (fd::kD1Flops + fd::kUpwindFlops) +
+               kNumVars * fd::kKoFlops +
+               kSecondDerivVars.size() * 6ull * fd::kD2Flops);
+    counts->bytes_read += std::uint64_t(kNumVars) * kPatchPts * sizeof(Real);
+  }
+}
+
+/// Gather the point-local inputs of the algebraic stage from the workspace
+/// (the GPU analogue reads these from shared memory / thread-local storage,
+/// Fig. 9). Hessian slots are fixed by kSecondDerivVars: alpha=0,
+/// beta=1..3, chi=4, gt=5..10.
+void bssn_gather_point(const Real* const in[kNumVars], DerivWorkspace& ws,
+                       int p, const BssnParams& prm, AlgebraInputs<Real>& q) {
+  q.a = in[kAlpha][p];
+  q.ch = std::max(in[kChi][p], prm.chi_floor);
+  q.Kt = in[kK][p];
+  for (int i = 0; i < 3; ++i) {
+    q.Gt[i] = in[kGt0 + i][p];
+    q.bet[i] = in[kBeta0 + i][p];
+    q.Bv[i] = in[kB0 + i][p];
+  }
+  for (int s = 0; s < 6; ++s) {
+    q.gt[s] = in[kGtxx + s][p];
+    q.At[s] = in[kAtxx + s][p];
+  }
+  for (int ax = 0; ax < 3; ++ax) {
+    q.d_a[ax] = ws.grad_of(kAlpha, ax)[p];
+    q.d_ch[ax] = ws.grad_of(kChi, ax)[p];
+    q.d_K[ax] = ws.grad_of(kK, ax)[p];
+    for (int i = 0; i < 3; ++i) {
+      q.d_b[i][ax] = ws.grad_of(kBeta0 + i, ax)[p];
+      q.d_Gt[i][ax] = ws.grad_of(kGt0 + i, ax)[p];
+    }
+    for (int s = 0; s < 6; ++s) {
+      q.d_gt[s][ax] = ws.grad_of(kGtxx + s, ax)[p];
+      q.d_At[s][ax] = ws.grad_of(kAtxx + s, ax)[p];
+    }
+  }
+  for (int s6 = 0; s6 < 6; ++s6) {
+    q.dd_a[s6] = ws.hess_of(0, s6)[p];
+    q.dd_ch[s6] = ws.hess_of(4, s6)[p];
+    for (int i = 0; i < 3; ++i) q.dd_b[i][s6] = ws.hess_of(1 + i, s6)[p];
+    for (int s = 0; s < 6; ++s) q.dd_gt[s][s6] = ws.hess_of(5 + s, s6)[p];
+  }
+  for (int v = 0; v < kNumVars; ++v) {
+    Real s = 0;
+    for (int ax = 0; ax < 3; ++ax) s += q.bet[ax] * ws.agrad_of(v, ax)[p];
+    q.ad[v] = s;
+    q.ko[v] = ws.ko_of(v)[p];
+  }
+}
+
+void bssn_algebraic_stage(const Real* const in[kNumVars],
+                          Real* const out[kNumVars],
+                          const mesh::PatchGeom& geom, Real half_extent,
+                          const BssnParams& prm, DerivWorkspace& ws,
+                          OpCounts* counts) {
+  AlgebraInputs<Real> q;
+  const AlgebraParams<Real> aprm{prm.lambda_f0, prm.eta, prm.ko_sigma};
+  Real rhs_pt[kNumVars];
+  for (int kk = kPad; kk < kPad + kR; ++kk)
+    for (int jj = kPad; jj < kPad + kR; ++jj)
+      for (int ii = kPad; ii < kPad + kR; ++ii) {
+        const int p = patch_idx(ii, jj, kk);
+        bssn_gather_point(in, ws, p, prm, q);
+        bssn_algebra_point(q, aprm, rhs_pt);
+        for (int v = 0; v < kNumVars; ++v) out[v][p] = rhs_pt[v];
+
+        // Sommerfeld radiative condition on the outer boundary overwrites
+        // the interior RHS (standard moving-puncture practice).
+        if (prm.sommerfeld) {
+          const Real x = geom.origin[0] + ii * geom.h;
+          const Real y = geom.origin[1] + jj * geom.h;
+          const Real z = geom.origin[2] + kk * geom.h;
+          const Real eps = 1e-9 * half_extent;
+          const bool on_boundary = std::abs(std::abs(x) - half_extent) < eps ||
+                                   std::abs(std::abs(y) - half_extent) < eps ||
+                                   std::abs(std::abs(z) - half_extent) < eps;
+          if (on_boundary) {
+            const Real r = std::sqrt(x * x + y * y + z * z);
+            for (int v = 0; v < kNumVars; ++v) {
+              const Real du = (x * ws.grad_of(v, 0)[p] +
+                               y * ws.grad_of(v, 1)[p] +
+                               z * ws.grad_of(v, 2)[p]) /
+                              r;
+              out[v][p] = -var_wave_speed(v) *
+                          (du + (in[v][p] - var_asymptotic(v)) / r);
+            }
+          }
+        }
+      }
+  if (counts) {
+    counts->flops += std::uint64_t(kR * kR * kR) * kAFlopsPerPoint;
+    // A reads the 24 fields + 210 derivatives per point and writes 24
+    // outputs (paper Eq. 21b memory accounting).
+    counts->bytes_read +=
+        std::uint64_t(kR * kR * kR) * (kNumVars * 2 + 210) * sizeof(Real);
+    counts->bytes_written +=
+        std::uint64_t(kR * kR * kR) * kNumVars * sizeof(Real);
+  }
+}
+
+void bssn_rhs_patch(const Real* const in[kNumVars], Real* const out[kNumVars],
+                    const mesh::PatchGeom& geom, Real half_extent,
+                    const BssnParams& params, DerivWorkspace& ws,
+                    OpCounts* counts) {
+  bssn_deriv_stage(in, geom.h, ws, counts);
+  bssn_algebraic_stage(in, out, geom, half_extent, params, ws, counts);
+}
+
+}  // namespace dgr::bssn

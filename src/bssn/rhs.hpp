@@ -1,0 +1,92 @@
+#pragma once
+/// \file rhs.hpp
+/// \brief Compiled evaluation of the BSSN right-hand side (paper Eqs.
+/// (1)–(19)) on a single 13^3 patch: the derivative stage D (210 derivative
+/// evaluations) followed by the algebraic stage A (234 inputs -> 24
+/// outputs), organized in the "staged" fashion of §IV-B: each equation's
+/// algebra runs as soon as its derivatives are available at a point.
+
+#include "common/counters.hpp"
+#include "common/types.hpp"
+#include "bssn/vars.hpp"
+#include "mesh/mesh.hpp"
+
+namespace dgr::bssn {
+
+/// Evolution parameters (gauge + dissipation), defaults as in the paper's
+/// production setup: 1+log slicing, Gamma-driver shift with damping eta,
+/// RK4 with Courant factor 0.25, KO dissipation.
+struct BssnParams {
+  Real lambda_f0 = 0.75;   ///< 3/4 f(alpha) coefficient with f = 1
+  Real eta = 2.0;          ///< Gamma-driver damping
+  Real ko_sigma = 0.1;     ///< Kreiss–Oliger dissipation strength
+  Real chi_floor = 1e-4;   ///< floor on the conformal factor near punctures
+  /// Apply Sommerfeld radiative conditions on the outer boundary.
+  bool sommerfeld = true;
+};
+
+/// Scratch buffers for the derivative stage; allocate once, reuse across
+/// patches (the GPU analogue is the per-block shared-memory workspace of
+/// Fig. 9).
+struct DerivWorkspace {
+  // Centered gradients and upwind (advective) gradients of all 24 vars.
+  std::vector<Real> grad;   ///< [var][axis] * kPatchPts
+  std::vector<Real> agrad;  ///< [var][axis] * kPatchPts
+  // Hessians of the 11 second-derivative variables, symmetric storage.
+  std::vector<Real> hess;   ///< [hvar][sym6] * kPatchPts
+  std::vector<Real> ko;     ///< [var] * kPatchPts
+  std::vector<Real> scratch;///< one patch, for mixed-derivative sweeps
+
+  DerivWorkspace();
+  Real* grad_of(int var, int axis) {
+    return grad.data() + (var * 3 + axis) * mesh::kPatchPts;
+  }
+  Real* agrad_of(int var, int axis) {
+    return agrad.data() + (var * 3 + axis) * mesh::kPatchPts;
+  }
+  Real* hess_of(int hvar, int s) {
+    return hess.data() + (hvar * 6 + s) * mesh::kPatchPts;
+  }
+  Real* ko_of(int var) { return ko.data() + var * mesh::kPatchPts; }
+};
+
+/// Position of variable v within kSecondDerivVars, or -1.
+int hess_slot(int var);
+
+template <class S>
+struct AlgebraInputs;
+
+/// Gather the point-local inputs of the algebraic stage at patch index p
+/// (exposed for the codegen interpreter path, which evaluates the same
+/// algebra from a scheduled program — §IV-B variants).
+void bssn_gather_point(const Real* const in[kNumVars], DerivWorkspace& ws,
+                       int p, const BssnParams& prm, AlgebraInputs<Real>& q);
+
+/// Derivative stage: fills the workspace from the 24 input patches.
+/// Performs the paper's 210 derivative evaluations (72 first, 66 second,
+/// 72 KO directional pieces folded into 24 combined KO terms) plus the
+/// upwind derivatives used for the advection terms.
+void bssn_deriv_stage(const Real* const in[kNumVars], Real h,
+                      DerivWorkspace& ws, OpCounts* counts = nullptr);
+
+/// Algebraic stage A + KO + (optionally) Sommerfeld boundary overwrite.
+/// Writes rhs values on the interior 7^3 region of each output patch.
+/// `geom` gives the patch origin/spacing; `half_extent` the outer boundary.
+void bssn_algebraic_stage(const Real* const in[kNumVars],
+                          Real* const out[kNumVars],
+                          const mesh::PatchGeom& geom, Real half_extent,
+                          const BssnParams& params, DerivWorkspace& ws,
+                          OpCounts* counts = nullptr);
+
+/// Full RHS on one patch: derivative stage then algebraic stage.
+void bssn_rhs_patch(const Real* const in[kNumVars], Real* const out[kNumVars],
+                    const mesh::PatchGeom& geom, Real half_extent,
+                    const BssnParams& params, DerivWorkspace& ws,
+                    OpCounts* counts = nullptr);
+
+/// Approximate flop count of the algebraic stage per grid point, matching
+/// the paper's operation count O_A in Eq. (21b) (Q_A ~ 1.94 with m = 8 *
+/// (24*2 + 210) bytes per point).
+inline constexpr int kAFlopsPerPoint = 4005;
+
+}  // namespace dgr::bssn

@@ -1,0 +1,14 @@
+#include "bssn/vars.hpp"
+
+namespace dgr::bssn {
+
+std::string_view var_name(int v) {
+  static constexpr std::string_view names[kNumVars] = {
+      "alpha", "chi",   "K",     "Gt0",   "Gt1",   "Gt2",
+      "beta0", "beta1", "beta2", "B0",    "B1",    "B2",
+      "gt_xx", "gt_xy", "gt_xz", "gt_yy", "gt_yz", "gt_zz",
+      "At_xx", "At_xy", "At_xz", "At_yy", "At_yz", "At_zz"};
+  return (v >= 0 && v < kNumVars) ? names[v] : "?";
+}
+
+}  // namespace dgr::bssn

@@ -1,0 +1,148 @@
+#include "codegen/expr.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace dgr::codegen {
+
+namespace {
+std::uint64_t key_of(Op op, std::int32_t a, std::int32_t b) {
+  return (std::uint64_t(std::uint8_t(op)) << 56) ^
+         (std::uint64_t(std::uint32_t(a)) << 28) ^
+         std::uint64_t(std::uint32_t(b));
+}
+std::uint64_t bits_of(double v) {
+  std::uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+}  // namespace
+
+std::int32_t Graph::push(Node n) {
+  nodes_.push_back(n);
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+std::int32_t Graph::add_input(std::string name) {
+  Node n;
+  n.op = Op::kInput;
+  n.input_id = static_cast<std::int32_t>(input_names_.size());
+  input_names_.push_back(std::move(name));
+  return push(n);
+}
+
+std::int32_t Graph::add_const(double v) {
+  auto [it, fresh] = const_pool_.try_emplace(bits_of(v), 0);
+  if (!fresh) return it->second;
+  Node n;
+  n.op = Op::kConst;
+  n.value = v;
+  it->second = push(n);
+  return it->second;
+}
+
+std::int32_t Graph::add_unary(Op op, std::int32_t a) {
+  DGR_CHECK(op == Op::kNeg);
+  const Node& na = nodes_[a];
+  if (na.op == Op::kConst) return add_const(-na.value);
+  if (na.op == Op::kNeg) return na.a;  // neg(neg(x)) = x
+  auto [it, fresh] = cse_.try_emplace(key_of(op, a, -1), 0);
+  if (!fresh) return it->second;
+  Node n;
+  n.op = op;
+  n.a = a;
+  it->second = push(n);
+  return it->second;
+}
+
+std::int32_t Graph::add_binary(Op op, std::int32_t a, std::int32_t b) {
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  // Constant folding.
+  if (na.op == Op::kConst && nb.op == Op::kConst) {
+    switch (op) {
+      case Op::kAdd: return add_const(na.value + nb.value);
+      case Op::kSub: return add_const(na.value - nb.value);
+      case Op::kMul: return add_const(na.value * nb.value);
+      case Op::kDiv: return add_const(na.value / nb.value);
+      default: break;
+    }
+  }
+  // Identity simplifications.
+  if (op == Op::kAdd) {
+    if (is_const(a, 0)) return b;
+    if (is_const(b, 0)) return a;
+  } else if (op == Op::kSub) {
+    if (is_const(b, 0)) return a;
+    if (is_const(a, 0)) return add_unary(Op::kNeg, b);
+    if (a == b) return add_const(0);
+  } else if (op == Op::kMul) {
+    if (is_const(a, 0) || is_const(b, 0)) return add_const(0);
+    if (is_const(a, 1)) return b;
+    if (is_const(b, 1)) return a;
+    if (is_const(a, -1)) return add_unary(Op::kNeg, b);
+    if (is_const(b, -1)) return add_unary(Op::kNeg, a);
+  } else if (op == Op::kDiv) {
+    if (is_const(b, 1)) return a;
+    if (is_const(a, 0)) return add_const(0);
+  }
+  // Commutative normalization for hash-consing.
+  if ((op == Op::kAdd || op == Op::kMul) && a > b) std::swap(a, b);
+  auto [it, fresh] = cse_.try_emplace(key_of(op, a, b), 0);
+  if (!fresh) return it->second;
+  Node n;
+  n.op = op;
+  n.a = a;
+  n.b = b;
+  it->second = push(n);
+  return it->second;
+}
+
+std::size_t Graph::num_edges() const {
+  std::size_t e = 0;
+  for (const auto& n : nodes_) {
+    if (n.a >= 0) ++e;
+    if (n.b >= 0) ++e;
+  }
+  return e;
+}
+
+std::size_t Graph::reachable_size(
+    const std::vector<std::int32_t>& roots) const {
+  std::vector<char> seen(nodes_.size(), 0);
+  std::vector<std::int32_t> stack(roots);
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const std::int32_t id = stack.back();
+    stack.pop_back();
+    if (seen[id]) continue;
+    seen[id] = 1;
+    ++count;
+    if (nodes_[id].a >= 0) stack.push_back(nodes_[id].a);
+    if (nodes_[id].b >= 0) stack.push_back(nodes_[id].b);
+  }
+  return count;
+}
+
+double Graph::evaluate(std::int32_t root,
+                       const std::vector<double>& inputs) const {
+  std::vector<double> val(nodes_.size(), 0.0);
+  // Node ids are topologically ordered by construction.
+  for (std::size_t i = 0; i <= static_cast<std::size_t>(root); ++i) {
+    const Node& n = nodes_[i];
+    switch (n.op) {
+      case Op::kInput: val[i] = inputs[n.input_id]; break;
+      case Op::kConst: val[i] = n.value; break;
+      case Op::kAdd: val[i] = val[n.a] + val[n.b]; break;
+      case Op::kSub: val[i] = val[n.a] - val[n.b]; break;
+      case Op::kMul: val[i] = val[n.a] * val[n.b]; break;
+      case Op::kDiv: val[i] = val[n.a] / val[n.b]; break;
+      case Op::kNeg: val[i] = -val[n.a]; break;
+    }
+  }
+  return val[root];
+}
+
+}  // namespace dgr::codegen

@@ -1,0 +1,112 @@
+#pragma once
+/// \file expr.hpp
+/// \brief Symbolic expression DAG for the BSSN algebraic stage — the
+/// from-scratch equivalent of the paper's SymPyGR pipeline (§IV-B).
+/// Hash-consing performs common-subexpression elimination at construction
+/// time; the `Sym` scalar type plugs into `bssn_algebra_point<S>` so the
+/// emitted DAG is guaranteed to compute the same algebra as the compiled
+/// production kernel.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dgr::codegen {
+
+enum class Op : std::uint8_t { kInput, kConst, kAdd, kSub, kMul, kDiv, kNeg };
+
+struct Node {
+  Op op = Op::kConst;
+  std::int32_t a = -1, b = -1;  ///< operand node ids
+  double value = 0;             ///< kConst payload
+  std::int32_t input_id = -1;   ///< kInput payload
+};
+
+/// An append-only DAG with hash-consing (structural CSE) and local constant
+/// folding / identity simplification.
+class Graph {
+ public:
+  /// Register a named input; returns its node id.
+  std::int32_t add_input(std::string name);
+  std::int32_t add_const(double v);
+  std::int32_t add_unary(Op op, std::int32_t a);
+  std::int32_t add_binary(Op op, std::int32_t a, std::int32_t b);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& node(std::int32_t id) const { return nodes_[id]; }
+  std::size_t size() const { return nodes_.size(); }
+  int num_inputs() const { return static_cast<int>(input_names_.size()); }
+  const std::string& input_name(int input_id) const {
+    return input_names_[input_id];
+  }
+
+  /// Number of operand edges over the whole DAG (Fig. 10 statistic).
+  std::size_t num_edges() const;
+
+  /// Count of nodes reachable from the given roots (the live DAG size).
+  std::size_t reachable_size(const std::vector<std::int32_t>& roots) const;
+
+  /// Evaluate nodes directly (reference evaluator for tests): `inputs` is
+  /// indexed by input_id.
+  double evaluate(std::int32_t root, const std::vector<double>& inputs) const;
+
+ private:
+  std::int32_t push(Node n);
+  bool is_const(std::int32_t id, double v) const {
+    return nodes_[id].op == Op::kConst && nodes_[id].value == v;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<std::string> input_names_;
+  std::unordered_map<std::uint64_t, std::int32_t> cse_;
+  std::unordered_map<std::uint64_t, std::int32_t> const_pool_;
+};
+
+/// Value-semantic symbolic scalar: drop-in for `Real` in
+/// bssn_algebra_point<S>. Supports mixed arithmetic with double.
+class Sym {
+ public:
+  Sym() = default;
+  Sym(Graph* g, std::int32_t id) : g_(g), id_(id) {}
+  /// Implicit lift of a literal requires a graph: provided via binary ops
+  /// with an existing Sym.
+  std::int32_t id() const { return id_; }
+  Graph* graph() const { return g_; }
+
+  friend Sym operator+(const Sym& x, const Sym& y) {
+    return {x.g_, x.g_->add_binary(Op::kAdd, x.id_, y.id_)};
+  }
+  friend Sym operator-(const Sym& x, const Sym& y) {
+    return {x.g_, x.g_->add_binary(Op::kSub, x.id_, y.id_)};
+  }
+  friend Sym operator*(const Sym& x, const Sym& y) {
+    return {x.g_, x.g_->add_binary(Op::kMul, x.id_, y.id_)};
+  }
+  friend Sym operator/(const Sym& x, const Sym& y) {
+    return {x.g_, x.g_->add_binary(Op::kDiv, x.id_, y.id_)};
+  }
+  friend Sym operator-(const Sym& x) {
+    return {x.g_, x.g_->add_unary(Op::kNeg, x.id_)};
+  }
+
+  friend Sym operator+(double c, const Sym& x) { return lift(c, x) + x; }
+  friend Sym operator+(const Sym& x, double c) { return x + lift(c, x); }
+  friend Sym operator-(double c, const Sym& x) { return lift(c, x) - x; }
+  friend Sym operator-(const Sym& x, double c) { return x - lift(c, x); }
+  friend Sym operator*(double c, const Sym& x) { return lift(c, x) * x; }
+  friend Sym operator*(const Sym& x, double c) { return x * lift(c, x); }
+  friend Sym operator/(double c, const Sym& x) { return lift(c, x) / x; }
+  friend Sym operator/(const Sym& x, double c) { return x / lift(c, x); }
+
+ private:
+  static Sym lift(double c, const Sym& like) {
+    return {like.g_, like.g_->add_const(c)};
+  }
+  Graph* g_ = nullptr;
+  std::int32_t id_ = -1;
+};
+
+}  // namespace dgr::codegen

@@ -1,0 +1,216 @@
+#include "codegen/scheduler.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace dgr::codegen {
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kSympygrCse: return "sympygr-cse";
+    case Strategy::kBinaryReduce: return "binary-reduce";
+    case Strategy::kStagedCse: return "staged-cse";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_compute(const Node& n) {
+  return n.op != Op::kInput && n.op != Op::kConst;
+}
+
+/// Compute nodes reachable from the outputs, marked in a bitmap.
+std::vector<char> reachable_compute(const Graph& g,
+                                    const std::vector<std::int32_t>& outputs) {
+  std::vector<char> keep(g.size(), 0);
+  std::vector<std::int32_t> stack(outputs.begin(), outputs.end());
+  while (!stack.empty()) {
+    const std::int32_t id = stack.back();
+    stack.pop_back();
+    if (keep[id]) continue;
+    keep[id] = 1;
+    const Node& n = g.node(id);
+    if (n.a >= 0) stack.push_back(n.a);
+    if (n.b >= 0) stack.push_back(n.b);
+  }
+  return keep;
+}
+
+}  // namespace
+
+std::vector<std::int32_t> schedule_nodes(
+    const Graph& g, const std::vector<std::int32_t>& outputs,
+    Strategy strategy) {
+  const std::vector<char> keep = reachable_compute(g, outputs);
+
+  if (strategy == Strategy::kSympygrCse) {
+    // The paper on the baseline: "the final expressions are evaluated once
+    // all of the intermediate sub-expressions are evaluated... [this] can
+    // increase the live range of the allocated temporary variables". We
+    // model it as breadth-first (depth-level) evaluation: every depth-d
+    // subexpression across all 24 equations is computed before any depth
+    // d+1 expression, so temporaries are produced long before their
+    // consumers and live ranges stretch across the whole kernel.
+    std::vector<int> depth(g.size(), 0);
+    for (std::int32_t id = 0; id < std::int32_t(g.size()); ++id) {
+      const Node& n = g.node(id);
+      int d = 0;
+      if (n.a >= 0) d = std::max(d, depth[n.a] + 1);
+      if (n.b >= 0) d = std::max(d, depth[n.b] + 1);
+      depth[id] = d;
+    }
+    std::vector<std::int32_t> order;
+    for (std::int32_t id = 0; id < std::int32_t(g.size()); ++id)
+      if (keep[id] && is_compute(g.node(id))) order.push_back(id);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::int32_t a, std::int32_t b) {
+                       return depth[a] < depth[b];
+                     });
+    return order;
+  }
+
+  if (strategy == Strategy::kStagedCse) {
+    // Per-output DFS: each equation evaluated as soon as possible, reusing
+    // temporaries already emitted by earlier equations.
+    std::vector<std::int32_t> order;
+    std::vector<char> emitted(g.size(), 0);
+    std::vector<std::int32_t> stack;
+    for (std::int32_t out : outputs) {
+      stack.push_back(out);
+      while (!stack.empty()) {
+        const std::int32_t id = stack.back();
+        const Node& n = g.node(id);
+        if (emitted[id] || !is_compute(n)) {
+          emitted[id] = 1;
+          stack.pop_back();
+          continue;
+        }
+        bool ready = true;
+        if (n.a >= 0 && !emitted[n.a] && is_compute(g.node(n.a))) {
+          stack.push_back(n.a);
+          ready = false;
+        }
+        if (n.b >= 0 && !emitted[n.b] && is_compute(g.node(n.b))) {
+          stack.push_back(n.b);
+          ready = false;
+        }
+        if (ready) {
+          emitted[id] = 1;
+          order.push_back(id);
+          stack.pop_back();
+        }
+      }
+    }
+    return order;
+  }
+
+  // kBinaryReduce: greedy list scheduling that favours nodes killing their
+  // operands (the live-range-minimizing traversal of Algorithm 3; we use a
+  // last-use-count heuristic in place of the line-graph topological sort).
+  std::vector<int> remaining_uses(g.size(), 0);
+  for (std::int32_t id = 0; id < std::int32_t(g.size()); ++id) {
+    if (!keep[id]) continue;
+    const Node& n = g.node(id);
+    if (n.a >= 0 && is_compute(g.node(n.a))) ++remaining_uses[n.a];
+    if (n.b >= 0 && is_compute(g.node(n.b))) ++remaining_uses[n.b];
+  }
+  std::vector<int> pending(g.size(), 0);  // unemitted compute operands
+  std::vector<std::int32_t> ready;
+  for (std::int32_t id = 0; id < std::int32_t(g.size()); ++id) {
+    if (!keep[id] || !is_compute(g.node(id))) continue;
+    const Node& n = g.node(id);
+    int p = 0;
+    if (n.a >= 0 && is_compute(g.node(n.a))) ++p;
+    if (n.b >= 0 && is_compute(g.node(n.b))) ++p;
+    pending[id] = p;
+    if (p == 0) ready.push_back(id);
+  }
+  // Users list to update readiness.
+  std::unordered_map<std::int32_t, std::vector<std::int32_t>> users;
+  for (std::int32_t id = 0; id < std::int32_t(g.size()); ++id) {
+    if (!keep[id] || !is_compute(g.node(id))) continue;
+    const Node& n = g.node(id);
+    if (n.a >= 0 && is_compute(g.node(n.a))) users[n.a].push_back(id);
+    if (n.b >= 0 && is_compute(g.node(n.b))) users[n.b].push_back(id);
+  }
+
+  std::vector<std::int32_t> order;
+  std::vector<char> emitted(g.size(), 0);
+  auto score = [&](std::int32_t id) {
+    const Node& n = g.node(id);
+    int s = -1;  // the new value becomes live
+    if (n.a >= 0 && is_compute(g.node(n.a)) && remaining_uses[n.a] == 1)
+      ++s;  // operand dies
+    if (n.b >= 0 && n.b != n.a && is_compute(g.node(n.b)) &&
+        remaining_uses[n.b] == 1)
+      ++s;
+    return s;
+  };
+  while (!ready.empty()) {
+    // Pick the ready node with the best kill score; prefer older nodes on
+    // ties (keeps the traversal close to a topological order).
+    std::size_t best = 0;
+    int best_score = score(ready[0]);
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+      const int sc = score(ready[i]);
+      if (sc > best_score ||
+          (sc == best_score && ready[i] < ready[best])) {
+        best = i;
+        best_score = sc;
+      }
+    }
+    const std::int32_t id = ready[best];
+    ready[best] = ready.back();
+    ready.pop_back();
+    emitted[id] = 1;
+    order.push_back(id);
+    const Node& n = g.node(id);
+    if (n.a >= 0 && is_compute(g.node(n.a))) --remaining_uses[n.a];
+    if (n.b >= 0 && n.b != n.a && is_compute(g.node(n.b)))
+      --remaining_uses[n.b];
+    for (std::int32_t u : users[id]) {
+      if (--pending[u] == 0) ready.push_back(u);
+    }
+  }
+  return order;
+}
+
+int max_live_temporaries(const Graph& g,
+                         const std::vector<std::int32_t>& order,
+                         const std::vector<std::int32_t>& outputs) {
+  // Last use position of each computed value.
+  std::unordered_map<std::int32_t, std::size_t> pos;
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  std::vector<std::size_t> last_use(g.size(), 0);
+  std::unordered_set<std::int32_t> outs(outputs.begin(), outputs.end());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Node& n = g.node(order[i]);
+    if (n.a >= 0 && pos.count(n.a)) last_use[n.a] = std::max(last_use[n.a], i);
+    if (n.b >= 0 && pos.count(n.b)) last_use[n.b] = std::max(last_use[n.b], i);
+  }
+  int live = 0, peak = 0;
+  std::vector<std::vector<std::int32_t>> dying(order.size() + 1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::int32_t id = order[i];
+    // Outputs are stored to global immediately: they die at birth.
+    const std::size_t death = outs.count(id) ? i : last_use[id];
+    dying[std::max(death, i)].push_back(id);
+  }
+  std::vector<char> live_flag(g.size(), 0);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ++live;
+    peak = std::max(peak, live);
+    for (std::int32_t id : dying[i]) {
+      (void)id;
+      --live;
+    }
+  }
+  (void)live_flag;
+  return peak;
+}
+
+}  // namespace dgr::codegen

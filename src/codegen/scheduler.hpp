@@ -1,0 +1,39 @@
+#pragma once
+/// \file scheduler.hpp
+/// \brief Evaluation-order schedules for the algebraic-stage DAG — the
+/// paper's three code-generation variants (§IV-B, Table II, Fig. 11):
+///  - kSympygrCse: the SymPyGR baseline — every CSE temporary is evaluated
+///    (in construction/topological order) before the final expressions,
+///    maximizing live ranges;
+///  - kBinaryReduce: Algorithm 3 — greedy traversal that reduces/evicts as
+///    soon as operands die, minimizing live ranges;
+///  - kStagedCse: per-equation staging — each of the 24 RHS outputs is
+///    evaluated as soon as its inputs allow, sharing already-computed CSE
+///    temporaries.
+
+#include <cstdint>
+#include <vector>
+
+#include "codegen/expr.hpp"
+
+namespace dgr::codegen {
+
+enum class Strategy { kSympygrCse, kBinaryReduce, kStagedCse };
+
+const char* strategy_name(Strategy s);
+
+/// Topological evaluation order of all compute nodes (non-input, non-const)
+/// reachable from `outputs`, according to the strategy.
+std::vector<std::int32_t> schedule_nodes(const Graph& g,
+                                         const std::vector<std::int32_t>& outputs,
+                                         Strategy strategy);
+
+/// Maximum number of simultaneously live computed temporaries along the
+/// schedule (the paper reports 675 for binary-reduce). A value is live from
+/// its evaluation until its last use (outputs die when stored, i.e. at
+/// their own evaluation).
+int max_live_temporaries(const Graph& g,
+                         const std::vector<std::int32_t>& order,
+                         const std::vector<std::int32_t>& outputs);
+
+}  // namespace dgr::codegen

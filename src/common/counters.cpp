@@ -1,0 +1,19 @@
+#include "common/counters.hpp"
+
+namespace dgr {
+
+double OpCounts::arithmetic_intensity() const {
+  const std::uint64_t m = bytes_moved();
+  if (m == 0) return 0.0;
+  return static_cast<double>(flops) / static_cast<double>(m);
+}
+
+OpCounts& OpCounts::operator+=(const OpCounts& o) {
+  flops += o.flops;
+  bytes_read += o.bytes_read;
+  bytes_written += o.bytes_written;
+  shared_bytes += o.shared_bytes;
+  return *this;
+}
+
+}  // namespace dgr

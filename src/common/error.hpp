@@ -1,0 +1,46 @@
+#pragma once
+/// \file error.hpp
+/// \brief Check macros: invariant violations throw, so tests can assert on
+/// failure behaviour instead of aborting the process.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dgr {
+
+/// Exception thrown on violated invariants and invalid user input.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace dgr
+
+/// Always-on invariant check (not compiled out in release builds; the cost is
+/// negligible outside inner kernels, where we avoid it).
+#define DGR_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::dgr::detail::throw_check_failure(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DGR_CHECK_MSG(cond, msg)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream os_;                                              \
+      os_ << msg;                                                          \
+      ::dgr::detail::throw_check_failure(#cond, __FILE__, __LINE__,        \
+                                         os_.str());                       \
+    }                                                                      \
+  } while (0)

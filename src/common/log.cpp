@@ -1,0 +1,28 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace dgr::log {
+
+namespace {
+Level g_level = Level::kWarn;
+const char* level_name(Level l) {
+  switch (l) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void set_level(Level lvl) { g_level = lvl; }
+Level level() { return g_level; }
+
+void write(Level lvl, const std::string& msg) {
+  if (lvl < g_level) return;
+  std::fprintf(stderr, "[dgr %s] %s\n", level_name(lvl), msg.c_str());
+}
+
+}  // namespace dgr::log

@@ -1,0 +1,44 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Wall-clock timing helpers used by the benchmark harness.
+
+#include <chrono>
+
+namespace dgr {
+
+/// Simple steady-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { restart(); }
+  void restart() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulating timer: sums durations of start()/stop() intervals. Used for
+/// per-phase cost breakdowns (Fig. 20).
+class PhaseTimer {
+ public:
+  void start() { t_.restart(); running_ = true; }
+  void stop() {
+    if (running_) total_ += t_.seconds();
+    running_ = false;
+  }
+  double total_seconds() const { return total_; }
+  void reset() { total_ = 0.0; running_ = false; }
+
+ private:
+  WallTimer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace dgr

@@ -1,0 +1,25 @@
+#pragma once
+/// \file types.hpp
+/// \brief Fundamental scalar and index types used throughout the library.
+
+#include <cstdint>
+#include <cstddef>
+
+namespace dgr {
+
+/// Floating point type for all field data. The paper's kernels are double
+/// precision throughout (flop costs in the §III-D model are per double
+/// precision flop), so we fix this to double.
+using Real = double;
+
+/// Global degree-of-freedom index (deduplicated grid points of a partition).
+using DofIndex = std::int64_t;
+
+/// Index of a leaf octant inside a sorted linear octree.
+using OctIndex = std::int32_t;
+
+/// Sentinel for "no DOF / no octant".
+inline constexpr DofIndex kInvalidDof = -1;
+inline constexpr OctIndex kInvalidOct = -1;
+
+}  // namespace dgr

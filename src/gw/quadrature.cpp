@@ -1,0 +1,119 @@
+#include "gw/quadrature.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dgr::gw {
+
+namespace {
+constexpr Real kPi = 3.14159265358979323846;
+
+void add_point(SphereQuadrature& q, Real x, Real y, Real z, Real w) {
+  q.points.push_back({x, y, z});
+  q.weights.push_back(w);
+}
+
+/// All sign/permutation images of (1,0,0): the 6 octahedron vertices.
+void add_a1(SphereQuadrature& q, Real w) {
+  for (int a = 0; a < 3; ++a)
+    for (int s = -1; s <= 1; s += 2) {
+      Real v[3] = {0, 0, 0};
+      v[a] = s;
+      add_point(q, v[0], v[1], v[2], w);
+    }
+}
+
+/// The 12 edge midpoints (+-1, +-1, 0)/sqrt(2).
+void add_a2(SphereQuadrature& q, Real w) {
+  const Real c = 1.0 / std::sqrt(2.0);
+  for (int a = 0; a < 3; ++a)
+    for (int s1 = -1; s1 <= 1; s1 += 2)
+      for (int s2 = -1; s2 <= 1; s2 += 2) {
+        Real v[3];
+        v[a] = 0;
+        v[(a + 1) % 3] = s1 * c;
+        v[(a + 2) % 3] = s2 * c;
+        add_point(q, v[0], v[1], v[2], w);
+      }
+}
+
+/// The 8 cube corners (+-1, +-1, +-1)/sqrt(3).
+void add_a3(SphereQuadrature& q, Real w) {
+  const Real c = 1.0 / std::sqrt(3.0);
+  for (int s1 = -1; s1 <= 1; s1 += 2)
+    for (int s2 = -1; s2 <= 1; s2 += 2)
+      for (int s3 = -1; s3 <= 1; s3 += 2)
+        add_point(q, s1 * c, s2 * c, s3 * c, w);
+}
+
+}  // namespace
+
+Real SphereQuadrature::integrate(const std::vector<Real>& values) const {
+  DGR_CHECK(values.size() == weights.size());
+  Real s = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) s += weights[i] * values[i];
+  return s;
+}
+
+SphereQuadrature lebedev_6() {
+  SphereQuadrature q;
+  add_a1(q, 4.0 * kPi / 6.0);
+  return q;
+}
+
+SphereQuadrature lebedev_26() {
+  SphereQuadrature q;
+  // Classic order-7 rule: weights 1/21, 4/105, 9/280 (normalized to 1),
+  // scaled by 4*pi to integrate plain functions.
+  add_a1(q, 4.0 * kPi * (1.0 / 21.0));
+  add_a2(q, 4.0 * kPi * (4.0 / 105.0));
+  add_a3(q, 4.0 * kPi * (9.0 / 280.0));
+  return q;
+}
+
+void gauss_legendre(int n, std::vector<Real>& nodes,
+                    std::vector<Real>& weights) {
+  DGR_CHECK(n >= 1);
+  nodes.resize(n);
+  weights.resize(n);
+  for (int i = 0; i < n; ++i) {
+    // Chebyshev-based initial guess, then Newton on P_n.
+    Real x = std::cos(kPi * (i + 0.75) / (n + 0.5));
+    Real pp = 0;
+    for (int it = 0; it < 100; ++it) {
+      Real p0 = 1, p1 = 0;
+      for (int j = 0; j < n; ++j) {
+        const Real p2 = p1;
+        p1 = p0;
+        p0 = ((2 * j + 1) * x * p1 - j * p2) / (j + 1);
+      }
+      pp = n * (x * p0 - p1) / (x * x - 1);
+      const Real dx = p0 / pp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    nodes[i] = x;
+    weights[i] = 2.0 / ((1 - x * x) * pp * pp);
+  }
+}
+
+SphereQuadrature gauss_product(int n) {
+  std::vector<Real> ct, wt;
+  gauss_legendre(n, ct, wt);
+  SphereQuadrature q;
+  const int nphi = 2 * n;
+  const Real wphi = 2.0 * kPi / nphi;
+  for (int i = 0; i < n; ++i) {
+    const Real cth = ct[i];
+    const Real sth = std::sqrt(std::max(Real(0), 1 - cth * cth));
+    for (int j = 0; j < nphi; ++j) {
+      const Real phi = wphi * j;
+      add_point(q, sth * std::cos(phi), sth * std::sin(phi), cth,
+                wt[i] * wphi);
+    }
+  }
+  return q;
+}
+
+}  // namespace dgr::gw

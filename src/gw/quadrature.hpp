@@ -1,0 +1,45 @@
+#pragma once
+/// \file quadrature.hpp
+/// \brief Quadrature rules on the unit sphere for gravitational-wave mode
+/// extraction (paper §III-A: "integrations being performed using Lebedev
+/// quadrature" on extraction spheres).
+///
+/// We provide the classic octahedrally-symmetric Lebedev rules of order 3
+/// (6 points) and order 7 (26 points) with exact rational weights, plus
+/// Gauss–Legendre x uniform-azimuth product rules of arbitrary order for
+/// the production extraction path (exact for spherical harmonics up to
+/// degree 2n-1, which exceeds any Lebedev order we would tabulate).
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dgr::gw {
+
+/// A quadrature rule: unit direction vectors and weights summing to 4*pi.
+struct SphereQuadrature {
+  std::vector<std::array<Real, 3>> points;
+  std::vector<Real> weights;
+
+  std::size_t size() const { return points.size(); }
+
+  /// Integrate a sampled function (values at the rule's points).
+  Real integrate(const std::vector<Real>& values) const;
+};
+
+/// Lebedev order-3 rule (6 points: octahedron vertices).
+SphereQuadrature lebedev_6();
+
+/// Lebedev order-7 rule (26 points: vertices + edge midpoints + corners).
+SphereQuadrature lebedev_26();
+
+/// Gauss–Legendre (n points in cos(theta)) x trapezoid (2n in phi) product
+/// rule; integrates spherical polynomials of degree <= 2n-1 exactly.
+SphereQuadrature gauss_product(int n);
+
+/// Gauss–Legendre nodes/weights on [-1, 1] (Newton iteration on P_n).
+void gauss_legendre(int n, std::vector<Real>& nodes,
+                    std::vector<Real>& weights);
+
+}  // namespace dgr::gw

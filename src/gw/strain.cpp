@@ -1,0 +1,106 @@
+#include "gw/strain.hpp"
+
+#include <array>
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dgr::gw {
+
+std::vector<Real> polynomial_trend(const std::vector<Real>& t,
+                                   const std::vector<Real>& y, int degree) {
+  DGR_CHECK(t.size() == y.size() && !t.empty());
+  DGR_CHECK(degree >= 0 && degree <= 4);
+  const int m = degree + 1;
+  // Normal equations A c = b with A_jk = sum t^(j+k), solved by Gaussian
+  // elimination with partial pivoting (tiny system). Times are shifted to
+  // the interval midpoint for conditioning.
+  const Real t0 = 0.5 * (t.front() + t.back());
+  std::array<std::array<Real, 6>, 5> A{};
+  std::array<Real, 5> b{};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Real dt = t[i] - t0;
+    Real powj = 1;
+    for (int j = 0; j < m; ++j) {
+      Real powk = powj * powj;  // t^(j+k) starting at k = j
+      for (int k = j; k < m; ++k) {
+        A[j][k] += powk;
+        powk *= dt;
+      }
+      b[j] += powj * y[i];
+      powj *= dt;
+    }
+  }
+  for (int j = 0; j < m; ++j)
+    for (int k = 0; k < j; ++k) A[j][k] = A[k][j];
+  // Solve.
+  std::array<Real, 5> c{};
+  for (int col = 0; col < m; ++col) {
+    int piv = col;
+    for (int r = col + 1; r < m; ++r)
+      if (std::abs(A[r][col]) > std::abs(A[piv][col])) piv = r;
+    std::swap(A[col], A[piv]);
+    std::swap(b[col], b[piv]);
+    DGR_CHECK_MSG(std::abs(A[col][col]) > 1e-300, "singular trend fit");
+    for (int r = col + 1; r < m; ++r) {
+      const Real f = A[r][col] / A[col][col];
+      for (int k = col; k < m; ++k) A[r][k] -= f * A[col][k];
+      b[r] -= f * b[col];
+    }
+  }
+  for (int r = m - 1; r >= 0; --r) {
+    Real s = b[r];
+    for (int k = r + 1; k < m; ++k) s -= A[r][k] * c[k];
+    c[r] = s / A[r][r];
+  }
+  std::vector<Real> trend(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Real dt = t[i] - t0;
+    Real v = 0, p = 1;
+    for (int j = 0; j < m; ++j) {
+      v += c[j] * p;
+      p *= dt;
+    }
+    trend[i] = v;
+  }
+  return trend;
+}
+
+std::vector<Complex> integrate_series(const std::vector<Real>& t,
+                                      const std::vector<Complex>& y) {
+  DGR_CHECK(t.size() == y.size() && !t.empty());
+  std::vector<Complex> out(t.size(), {0, 0});
+  for (std::size_t i = 1; i < t.size(); ++i)
+    out[i] = out[i - 1] + 0.5 * (t[i] - t[i - 1]) * (y[i] + y[i - 1]);
+  return out;
+}
+
+namespace {
+void detrend_complex(const std::vector<Real>& t, std::vector<Complex>& y,
+                     int degree) {
+  std::vector<Real> re(y.size()), im(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    re[i] = y[i].real();
+    im[i] = y[i].imag();
+  }
+  const auto tr = polynomial_trend(t, re, degree);
+  const auto ti = polynomial_trend(t, im, degree);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    y[i] -= Complex{tr[i], ti[i]};
+}
+}  // namespace
+
+std::vector<Complex> psi4_to_strain(const std::vector<Real>& t,
+                                    const std::vector<Complex>& psi4,
+                                    int detrend) {
+  auto hdot = integrate_series(t, psi4);
+  detrend_complex(t, hdot, detrend);
+  auto h = integrate_series(t, hdot);
+  // The first stage's (small) fit residual integrates into a polynomial of
+  // one degree higher, so the second detrend removes degree detrend + 1.
+  detrend_complex(t, h, std::min(4, detrend + 1));
+  return h;
+}
+
+}  // namespace dgr::gw

@@ -1,0 +1,31 @@
+#pragma once
+/// \file strain.hpp
+/// \brief Strain from Psi4. Detectors measure h(t); numerical relativity
+/// extracts Psi4 = d^2 h / dt^2 (for outgoing radiation at large r), so
+/// waveform catalogs double-integrate the extracted modes. We provide
+/// time-domain double integration (trapezoidal) with low-order polynomial
+/// drift removal — the classic alternative to fixed-frequency integration.
+
+#include <vector>
+
+#include "gw/swsh.hpp"
+
+namespace dgr::gw {
+
+/// Least-squares polynomial fit (degree <= 4) evaluated at the sample
+/// points; used to remove the secular drift double integration introduces.
+std::vector<Real> polynomial_trend(const std::vector<Real>& t,
+                                   const std::vector<Real>& y, int degree);
+
+/// Cumulative trapezoidal integral of a complex series (uniform or
+/// non-uniform sampling), zero at the first sample.
+std::vector<Complex> integrate_series(const std::vector<Real>& t,
+                                      const std::vector<Complex>& y);
+
+/// Double-integrate a Psi4 mode series into strain h = h_plus - i h_cross,
+/// removing a degree-`detrend` polynomial drift after each integration.
+std::vector<Complex> psi4_to_strain(const std::vector<Real>& t,
+                                    const std::vector<Complex>& psi4,
+                                    int detrend = 2);
+
+}  // namespace dgr::gw

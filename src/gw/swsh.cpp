@@ -1,0 +1,47 @@
+#include "gw/swsh.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dgr::gw {
+
+namespace {
+constexpr Real kPi = 3.14159265358979323846;
+
+Real factorial(int n) {
+  Real f = 1;
+  for (int i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+}  // namespace
+
+Real wigner_d(int l, int m, int mp, Real theta) {
+  DGR_CHECK(l >= 0 && std::abs(m) <= l && std::abs(mp) <= l);
+  const Real c = std::cos(theta / 2), s = std::sin(theta / 2);
+  const Real pre = std::sqrt(factorial(l + m) * factorial(l - m) *
+                             factorial(l + mp) * factorial(l - mp));
+  // Sum over k with all factorial arguments non-negative.
+  const int kmin = std::max(0, m - mp);
+  const int kmax = std::min(l + m, l - mp);
+  Real sum = 0;
+  for (int k = kmin; k <= kmax; ++k) {
+    const Real den = factorial(l + m - k) * factorial(k) *
+                     factorial(mp - m + k) * factorial(l - mp - k);
+    const int pc = 2 * l + m - mp - 2 * k;  // power of cos(theta/2)
+    const int ps = mp - m + 2 * k;          // power of sin(theta/2)
+    const Real sign = (k % 2 == 0) ? 1.0 : -1.0;
+    sum += sign * std::pow(c, pc) * std::pow(s, ps) / den;
+  }
+  return pre * sum;
+}
+
+Complex swsh(int s, int l, int m, Real theta, Real phi) {
+  if (l < std::abs(m) || l < std::abs(s)) return {0, 0};
+  const Real sign = (s % 2 == 0) ? 1.0 : -1.0;
+  const Real amp =
+      sign * std::sqrt((2 * l + 1) / (4 * kPi)) * wigner_d(l, m, -s, theta);
+  return amp * Complex{std::cos(m * phi), std::sin(m * phi)};
+}
+
+}  // namespace dgr::gw

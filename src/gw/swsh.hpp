@@ -1,0 +1,29 @@
+#pragma once
+/// \file swsh.hpp
+/// \brief Spin-weighted spherical harmonics sYlm (the basis in which Psi4 is
+/// decomposed into (l, m) modes, paper §III-A), via the Wigner small-d
+/// matrix:
+///   sYlm(theta, phi) = (-1)^s sqrt((2l+1)/(4 pi)) d^l_{m,-s}(theta)
+///                      e^{i m phi}.
+
+#include <complex>
+
+#include "common/types.hpp"
+
+namespace dgr::gw {
+
+using Complex = std::complex<Real>;
+
+/// Wigner small-d matrix element d^l_{m,mp}(theta) (factorial-sum formula,
+/// valid for the moderate l used in wave extraction).
+Real wigner_d(int l, int m, int mp, Real theta);
+
+/// Spin-weighted spherical harmonic of spin weight s.
+Complex swsh(int s, int l, int m, Real theta, Real phi);
+
+/// Convenience: the gravitational-wave basis functions (s = -2).
+inline Complex swsh_m2(int l, int m, Real theta, Real phi) {
+  return swsh(-2, l, m, theta, phi);
+}
+
+}  // namespace dgr::gw

@@ -1,0 +1,52 @@
+#pragma once
+/// \file interp.hpp
+/// \brief 1-D interpolation operators and their tensor products (paper
+/// §IV-A): coarse-to-fine prolongation is applied as three sweeps of the 1-D
+/// operator, exactly as in the GPU octant-to-patch kernel.
+
+#include <array>
+
+#include "common/counters.hpp"
+#include "common/types.hpp"
+#include "mesh/patch.hpp"
+
+namespace dgr::mesh {
+
+/// The 1-D prolongation operator I (13 x 7): degree-6 Lagrange interpolation
+/// of the 7 coarse points onto the 13 half-spacing points covering the same
+/// interval. Rows at even positions are Kronecker deltas (points coincide).
+class Prolongation {
+ public:
+  static const Prolongation& get();
+
+  /// Row weights for the half-spacing position a in [0, 12].
+  const std::array<Real, kR>& row(int a) const { return rows_[a]; }
+
+  /// Evaluate the degree-6 Lagrange basis l_m at arbitrary position t
+  /// (in coarse index units, nodes at 0..6).
+  static Real lagrange(int m, Real t);
+
+ private:
+  Prolongation();
+  std::array<std::array<Real, kR>, kFine> rows_;
+};
+
+/// Tensor-product prolongation of a 7^3 octant block to its 13^3 fine
+/// covering (half spacing, same volume). Three 1-D sweeps (x, then y, then
+/// z), as in the GPU kernel. Adds ~3(2r-1)r^3-scale flops to \p counts.
+void prolong_octant(const Real* coarse /*343*/, Real* fine /*2197*/,
+                    OpCounts* counts = nullptr);
+
+/// Interpolate a single point of the fine covering, recomputing the weight
+/// rows on the fly (worst-case redundant work; used in tests).
+Real prolong_point(const Real* coarse /*343*/, int a, int b, int c,
+                   OpCounts* counts = nullptr);
+
+/// Interpolate a single point using the precomputed 1-D rows: the
+/// per-point full tensor contraction the loop-over-patches baseline pays
+/// for every padding point (Fig. 7) — redundant relative to the scatter
+/// path's single prolongation per source octant.
+Real prolong_point_cached(const Real* coarse /*343*/, int a, int b, int c,
+                          OpCounts* counts = nullptr);
+
+}  // namespace dgr::mesh

@@ -1,0 +1,624 @@
+#include "mesh/mesh.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "mesh/interp.hpp"
+
+namespace dgr::mesh {
+
+namespace {
+
+using PointRecord = detail::PointRecord;
+using PointMap = std::unordered_map<std::uint64_t, PointRecord>;
+
+/// All leaf octants whose closure contains point p (point units): probe the
+/// up-to-8 dyadic cells adjacent to p. Octant faces live at point-unit
+/// multiples of kPuPerDyadic, so an axis only straddles a face if p is such
+/// a multiple.
+void touching_leaves(const oct::Octree& tree, const std::array<Pu, 3>& p,
+                     std::vector<OctIndex>& out) {
+  out.clear();
+  std::int64_t cand[3][2];
+  int ncand[3];
+  for (int a = 0; a < 3; ++a) {
+    if (p[a] % kPuPerDyadic == 0) {
+      const std::int64_t c = p[a] / kPuPerDyadic;
+      ncand[a] = 0;
+      if (c - 1 >= 0) cand[a][ncand[a]++] = c - 1;
+      if (c < static_cast<std::int64_t>(oct::kDomainSize))
+        cand[a][ncand[a]++] = c;
+    } else {
+      cand[a][0] = p[a] / kPuPerDyadic;
+      ncand[a] = 1;
+    }
+  }
+  for (int i = 0; i < ncand[0]; ++i)
+    for (int j = 0; j < ncand[1]; ++j)
+      for (int k = 0; k < ncand[2]; ++k) {
+        const OctIndex n = tree.find_leaf(
+            static_cast<oct::Coord>(cand[0][i]),
+            static_cast<oct::Coord>(cand[1][j]),
+            static_cast<oct::Coord>(cand[2][k]));
+        if (std::find(out.begin(), out.end(), n) == out.end()) out.push_back(n);
+      }
+}
+
+bool representable_at_level(const std::array<Pu, 3>& p, int level) {
+  const Pu s = spacing_pu(level);
+  return p[0] % s == 0 && p[1] % s == 0 && p[2] % s == 0;
+}
+
+}  // namespace
+
+Mesh::Mesh(oct::Octree tree, oct::Domain domain)
+    : tree_(std::move(tree)), domain_(domain) {
+  DGR_CHECK_MSG(tree_.is_balanced(),
+                "Mesh requires a 2:1-balanced octree (Algorithm 2 precondition)");
+  build_adjacency();
+  build_points();
+  build_hanging_rules();
+}
+
+void Mesh::build_adjacency() {
+  const std::size_t n = tree_.size();
+  adjacency_.assign(n, {});
+  for (OctIndex e = 0; e < static_cast<OctIndex>(n); ++e) {
+    auto& adj = adjacency_[e];
+    for (int dz = -1; dz <= 1; ++dz)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (!dx && !dy && !dz) continue;
+          for (OctIndex nb : tree_.neighbors(e, dx, dy, dz)) {
+            if (std::find(adj.begin(), adj.end(), nb) == adj.end())
+              adj.push_back(nb);
+          }
+        }
+    std::sort(adj.begin(), adj.end());
+  }
+}
+
+void Mesh::build_points() {
+  const std::size_t n = tree_.size();
+  o2n_.assign(n * kOctPts, kInvalidDof);
+  write_set_.assign(n, {});
+
+  PointMap pmap;
+  pmap.reserve(n * 64);
+  std::vector<OctIndex> touching;
+
+  // Pass 1: classify every unique point (hanging / DOF) and find the finest
+  // owner octant. Interior points (all local indices in 1..5) are trivially
+  // non-hanging and owned by their octant.
+  for (OctIndex e = 0; e < static_cast<OctIndex>(n); ++e) {
+    const oct::TreeNode& t = tree_.leaf(e);
+    const auto A = anchor_pu(t);
+    const Pu S = spacing_pu(t.level);
+    for (int k = 0; k < kR; ++k)
+      for (int j = 0; j < kR; ++j)
+        for (int i = 0; i < kR; ++i) {
+          const std::array<Pu, 3> p = {A[0] + i * S, A[1] + j * S,
+                                       A[2] + k * S};
+          const std::uint64_t key = point_key(p[0], p[1], p[2]);
+          auto [it, fresh] = pmap.try_emplace(key);
+          PointRecord& rec = it->second;
+          if (fresh) {
+            const bool interior = i > 0 && i < kR - 1 && j > 0 && j < kR - 1 &&
+                                  k > 0 && k < kR - 1;
+            if (interior) {
+              rec.hanging = false;
+            } else {
+              touching_leaves(tree_, p, touching);
+              int lmin = oct::kMaxDepth + 1;
+              OctIndex host = kInvalidOct;
+              for (OctIndex nb : touching) {
+                const int lv = tree_.leaf(nb).level;
+                if (lv < lmin) {
+                  lmin = lv;
+                  host = nb;
+                }
+              }
+              rec.hanging = !representable_at_level(p, lmin);
+              if (rec.hanging) rec.host = tree_.leaf(host);
+            }
+          }
+          if (!rec.hanging && int(t.level) > rec.owner_level) {
+            rec.owner_level = t.level;
+            rec.owner = e;
+          }
+        }
+  }
+
+  // Pass 2: deterministic numbering in octant-then-local order, o2n fill,
+  // and per-octant write sets.
+  dof_pu_.clear();
+  dof_owner_.clear();
+  hanging_pu_.clear();
+  hanging_host_.clear();
+  for (OctIndex e = 0; e < static_cast<OctIndex>(n); ++e) {
+    const oct::TreeNode& t = tree_.leaf(e);
+    const auto A = anchor_pu(t);
+    const Pu S = spacing_pu(t.level);
+    for (int k = 0; k < kR; ++k)
+      for (int j = 0; j < kR; ++j)
+        for (int i = 0; i < kR; ++i) {
+          const std::array<Pu, 3> p = {A[0] + i * S, A[1] + j * S,
+                                       A[2] + k * S};
+          PointRecord& rec = pmap.at(point_key(p[0], p[1], p[2]));
+          const int local = oct_idx(i, j, k);
+          if (!rec.hanging) {
+            if (rec.dof < 0) {
+              rec.dof = static_cast<std::int64_t>(dof_pu_.size());
+              dof_pu_.push_back(p);
+              dof_owner_.push_back(rec.owner);
+            }
+            o2n_[e * kOctPts + local] = rec.dof;
+            if (rec.owner == e)
+              write_set_[e].emplace_back(local, rec.dof);
+          } else {
+            if (rec.hidx < 0) {
+              rec.hidx = static_cast<std::int64_t>(hanging_pu_.size());
+              hanging_pu_.push_back(p);
+              hanging_host_.push_back(rec.host);
+            }
+            o2n_[e * kOctPts + local] = -(rec.hidx + 1);
+          }
+        }
+  }
+
+  // Stash the point map for hanging-rule resolution.
+  pmap_for_rules_ = std::move(pmap);
+}
+
+void Mesh::build_hanging_rules() {
+  const auto& P = Prolongation::get();
+  const std::size_t nh = hanging_pu_.size();
+  hanging_rules_.assign(nh, {});
+  std::vector<int> state(nh, 0);  // 0 = unresolved, 1 = in progress, 2 = done
+
+  // Raw rule of hanging point h: degree-6 tensor interpolation of its host
+  // octant's grid points at the half-spacing offsets. References may be
+  // hanging themselves (w.r.t. an even coarser neighbor); resolve
+  // recursively — levels strictly decrease, so this terminates.
+  std::function<const HangingRule&(std::size_t)> resolve =
+      [&](std::size_t h) -> const HangingRule& {
+    if (state[h] == 2) return hanging_rules_[h];
+    DGR_CHECK_MSG(state[h] != 1, "cycle in hanging-point resolution");
+    state[h] = 1;
+    const oct::TreeNode host = hanging_host_[h];
+    const auto A = anchor_pu(host);
+    const Pu Sh = spacing_pu(host.level) / 2;  // half spacing
+    const auto& p = hanging_pu_[h];
+    int tpos[3];
+    for (int a = 0; a < 3; ++a) {
+      const Pu d = p[a] - A[a];
+      DGR_CHECK(d >= 0 && d % Sh == 0);
+      tpos[a] = d / Sh;
+      DGR_CHECK(tpos[a] >= 0 && tpos[a] <= 12);
+    }
+    std::unordered_map<DofIndex, Real> acc;
+    for (int k = 0; k < kR; ++k) {
+      const Real wz = P.row(tpos[2])[k];
+      if (wz == 0.0) continue;
+      for (int j = 0; j < kR; ++j) {
+        const Real wy = P.row(tpos[1])[j];
+        if (wy == 0.0) continue;
+        for (int i = 0; i < kR; ++i) {
+          const Real wx = P.row(tpos[0])[i];
+          if (wx == 0.0) continue;
+          const Real w = wx * wy * wz;
+          const std::array<Pu, 3> q = {A[0] + i * (2 * Sh),
+                                       A[1] + j * (2 * Sh),
+                                       A[2] + k * (2 * Sh)};
+          const PointRecord& rec =
+              pmap_for_rules_.at(point_key(q[0], q[1], q[2]));
+          if (!rec.hanging) {
+            acc[rec.dof] += w;
+          } else {
+            for (const auto& [dof, w2] : resolve(rec.hidx).terms)
+              acc[dof] += w * w2;
+          }
+        }
+      }
+    }
+    auto& rule = hanging_rules_[h];
+    rule.terms.assign(acc.begin(), acc.end());
+    std::sort(rule.terms.begin(), rule.terms.end());
+    state[h] = 2;
+    return rule;
+  };
+
+  for (std::size_t h = 0; h < nh; ++h) resolve(h);
+  pmap_for_rules_.clear();
+
+  // Per-octant hanging-resolution flop cost (2 per rule term), charged by
+  // unzip whenever the octant is loaded.
+  hanging_flops_.assign(tree_.size(), 0);
+  for (OctIndex e = 0; e < static_cast<OctIndex>(tree_.size()); ++e) {
+    const std::int64_t* map = o2n(e);
+    std::uint64_t f = 0;
+    for (int i = 0; i < kOctPts; ++i)
+      if (map[i] < 0) f += 2 * hanging_rules_[-(map[i] + 1)].terms.size();
+    hanging_flops_[e] = f;
+  }
+}
+
+std::array<Real, 3> Mesh::dof_position(DofIndex d) const {
+  const auto& p = dof_pu_[d];
+  const Real scale = 2.0 * domain_.half_extent / kPuDomain;
+  return {-domain_.half_extent + scale * p[0],
+          -domain_.half_extent + scale * p[1],
+          -domain_.half_extent + scale * p[2]};
+}
+
+bool Mesh::dof_on_boundary(DofIndex d) const {
+  const auto& p = dof_pu_[d];
+  for (int a = 0; a < 3; ++a)
+    if (p[a] == 0 || p[a] == kPuDomain) return true;
+  return false;
+}
+
+Real Mesh::octant_spacing(OctIndex e) const {
+  return domain_.octant_edge(tree_.leaf(e).level) / (kR - 1);
+}
+
+Real Mesh::finest_spacing() const {
+  return domain_.octant_edge(tree_.max_level()) / (kR - 1);
+}
+
+PatchGeom Mesh::patch_geom(OctIndex e) const {
+  const oct::TreeNode& t = tree_.leaf(e);
+  const Real h = octant_spacing(e);
+  const auto lo = domain_.to_phys(t.x, t.y, t.z);
+  return {{lo[0] - kPad * h, lo[1] - kPad * h, lo[2] - kPad * h}, h};
+}
+
+void Mesh::sample(const std::function<Real(Real, Real, Real)>& f,
+                  Real* field) const {
+  for (DofIndex d = 0; d < static_cast<DofIndex>(num_dofs()); ++d) {
+    const auto x = dof_position(d);
+    field[d] = f(x[0], x[1], x[2]);
+  }
+}
+
+void Mesh::load_octant(const Real* field, OctIndex e, Real* out) const {
+  const std::int64_t* map = o2n(e);
+  for (int i = 0; i < kOctPts; ++i) {
+    const std::int64_t v = map[i];
+    if (v >= 0) {
+      out[i] = field[v];
+    } else {
+      const HangingRule& r = hanging_rules_[-(v + 1)];
+      Real s = 0;
+      for (const auto& [dof, w] : r.terms) s += w * field[dof];
+      out[i] = s;
+    }
+  }
+}
+
+void Mesh::scatter_into_patch(OctIndex b, OctIndex e, const Real* u_e,
+                              const Real* fine_e, Real* patch,
+                              OpCounts* counts) const {
+  const oct::TreeNode& tb = tree_.leaf(b);
+  const oct::TreeNode& te = tree_.leaf(e);
+  const auto Ab = anchor_pu(tb);
+  const auto Ae = anchor_pu(te);
+  const Pu Sb = spacing_pu(tb.level);
+  const Pu Se = spacing_pu(te.level);
+
+  // Per-axis lists of patch indices m whose coordinate lies in e's closed
+  // box, together with the source index along that axis.
+  int ms[3][kPatch], src[3][kPatch], cnt[3] = {0, 0, 0};
+  for (int a = 0; a < 3; ++a) {
+    const std::int64_t A_b = (a == 0 ? Ab[0] : a == 1 ? Ab[1] : Ab[2]);
+    const std::int64_t A_e = (a == 0 ? Ae[0] : a == 1 ? Ae[1] : Ae[2]);
+    for (int m = 0; m < kPatch; ++m) {
+      const std::int64_t p = A_b + std::int64_t(m - kPad) * Sb;
+      if (p < A_e || p > A_e + std::int64_t(kR - 1) * Se) continue;
+      std::int64_t s;
+      if (te.level == tb.level) {
+        s = (p - A_e) / Se;                 // direct copy index (0..6)
+      } else if (te.level < tb.level) {
+        s = (p - A_e) / (Se / 2);           // fine-covering index (0..12)
+      } else {
+        if ((p - A_e) % Se != 0) continue;  // cannot happen; keep safe
+        s = (p - A_e) / Se;                 // injection index (0..6)
+      }
+      ms[a][cnt[a]] = m;
+      src[a][cnt[a]] = static_cast<int>(s);
+      ++cnt[a];
+    }
+  }
+  if (cnt[0] == 0 || cnt[1] == 0 || cnt[2] == 0) return;
+
+  const bool use_fine = te.level < tb.level;
+  std::uint64_t written = 0;
+  for (int kk = 0; kk < cnt[2]; ++kk)
+    for (int jj = 0; jj < cnt[1]; ++jj)
+      for (int ii = 0; ii < cnt[0]; ++ii) {
+        const int m = patch_idx(ms[0][ii], ms[1][jj], ms[2][kk]);
+        if (use_fine) {
+          patch[m] = fine_e[(src[2][kk] * kFine + src[1][jj]) * kFine +
+                            src[0][ii]];
+        } else {
+          patch[m] = u_e[oct_idx(src[0][ii], src[1][jj], src[2][kk])];
+        }
+        ++written;
+      }
+  if (counts) counts->bytes_written += written * sizeof(Real);
+}
+
+void Mesh::fill_domain_boundary(OctIndex b, Real* patch,
+                                OpCounts* counts) const {
+  const oct::TreeNode& t = tree_.leaf(b);
+  const auto A = anchor_pu(t);
+  const Pu S = spacing_pu(t.level);
+  // Degree-4 extrapolation one step at a time: f(-1) from f(0..4).
+  const auto extrap = [](Real f0, Real f1, Real f2, Real f3, Real f4) {
+    return 5 * f0 - 10 * f1 + 10 * f2 - 5 * f3 + f4;
+  };
+  // Which sides of this octant lie on the outer boundary?
+  bool lo_side[3], hi_side[3];
+  for (int a = 0; a < 3; ++a) {
+    lo_side[a] = (A[a] == 0);
+    hi_side[a] = (A[a] + (kR - 1) * S == kPuDomain);
+  }
+  std::uint64_t flops = 0;
+  // Sweep x, then y, then z: later sweeps overwrite any corner values a
+  // previous sweep computed from not-yet-filled rows, so after the z sweep
+  // every out-of-domain point holds a valid extrapolation.
+  for (int axis = 0; axis < 3; ++axis) {
+    if (!lo_side[axis] && !hi_side[axis]) continue;
+    const int stride = (axis == 0) ? 1 : (axis == 1) ? kPatch : kPatch * kPatch;
+    for (int u = 0; u < kPatch; ++u)
+      for (int v = 0; v < kPatch; ++v) {
+        // Base index of this 1-D line.
+        int base;
+        if (axis == 0) base = patch_idx(0, u, v);
+        else if (axis == 1) base = patch_idx(u, 0, v);
+        else base = patch_idx(u, v, 0);
+        Real* line = patch + base;
+        if (lo_side[axis]) {
+          for (int m = kPad - 1; m >= 0; --m) {
+            line[m * stride] = extrap(line[(m + 1) * stride],
+                                      line[(m + 2) * stride],
+                                      line[(m + 3) * stride],
+                                      line[(m + 4) * stride],
+                                      line[(m + 5) * stride]);
+            flops += 9;
+          }
+        }
+        if (hi_side[axis]) {
+          for (int m = kPatch - kPad; m < kPatch; ++m) {
+            line[m * stride] = extrap(line[(m - 1) * stride],
+                                      line[(m - 2) * stride],
+                                      line[(m - 3) * stride],
+                                      line[(m - 4) * stride],
+                                      line[(m - 5) * stride]);
+            flops += 9;
+          }
+        }
+      }
+  }
+  if (counts) counts->flops += flops;
+}
+
+void Mesh::unzip(const Real* const* fields, int nvar, OctIndex begin,
+                 OctIndex end, Real* patches, UnzipMethod method,
+                 OpCounts* counts) const {
+  DGR_CHECK(begin >= 0 && end <= static_cast<OctIndex>(num_octants()) &&
+            begin <= end);
+
+  if (method == UnzipMethod::kLoopOverPatches) {
+    for (OctIndex b = begin; b < end; ++b)
+      for (int v = 0; v < nvar; ++v) {
+        Real* patch = patches +
+                      (static_cast<std::size_t>(b - begin) * nvar + v) *
+                          kPatchPts;
+        gather_patch(fields[v], b, patch, counts);
+        fill_domain_boundary(b, patch, counts);
+      }
+    return;
+  }
+
+  // loop-over-octants: build the source set (chunk targets + their halo),
+  // load and prolong each source exactly once per variable, then scatter.
+  std::vector<OctIndex> sources;
+  std::vector<char> needs_fine_flag;
+  {
+    std::unordered_map<OctIndex, std::size_t> slot;
+    auto add = [&](OctIndex e) {
+      if (slot.emplace(e, sources.size()).second) {
+        sources.push_back(e);
+        needs_fine_flag.push_back(0);
+      }
+    };
+    for (OctIndex b = begin; b < end; ++b) {
+      add(b);
+      for (OctIndex e : adjacency_[b]) add(e);
+    }
+    // A source must be prolonged if any chunk target adjacent to it is finer.
+    for (OctIndex b = begin; b < end; ++b) {
+      const int lb = tree_.leaf(b).level;
+      for (OctIndex e : adjacency_[b])
+        if (tree_.leaf(e).level < lb) needs_fine_flag[slot.at(e)] = 1;
+    }
+  }
+
+  std::vector<Real> u_src(sources.size() * kOctPts);
+  std::vector<Real> fine_src;
+  std::vector<std::int64_t> fine_slot(sources.size(), -1);
+  {
+    std::int64_t nf = 0;
+    for (std::size_t s = 0; s < sources.size(); ++s)
+      if (needs_fine_flag[s]) fine_slot[s] = nf++;
+    fine_src.resize(static_cast<std::size_t>(nf) * kFine * kFine * kFine);
+  }
+  std::unordered_map<OctIndex, std::size_t> src_of;
+  for (std::size_t s = 0; s < sources.size(); ++s) src_of[sources[s]] = s;
+
+  for (int v = 0; v < nvar; ++v) {
+    const Real* field = fields[v];
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      load_octant(field, sources[s], &u_src[s * kOctPts]);
+      if (counts) {
+        counts->bytes_read += kOctPts * sizeof(Real);
+        counts->flops += hanging_flops_[sources[s]];
+      }
+      if (needs_fine_flag[s])
+        prolong_octant(&u_src[s * kOctPts],
+                       &fine_src[fine_slot[s] * kFine * kFine * kFine],
+                       counts);
+    }
+    for (OctIndex b = begin; b < end; ++b) {
+      Real* patch = patches +
+                    (static_cast<std::size_t>(b - begin) * nvar + v) *
+                        kPatchPts;
+      const std::size_t sb = src_of.at(b);
+      scatter_into_patch(b, b, &u_src[sb * kOctPts], nullptr, patch, counts);
+      for (OctIndex e : adjacency_[b]) {
+        const std::size_t se = src_of.at(e);
+        const Real* fine = (fine_slot[se] >= 0)
+                               ? &fine_src[fine_slot[se] * kFine * kFine * kFine]
+                               : nullptr;
+        scatter_into_patch(b, e, &u_src[se * kOctPts], fine, patch, counts);
+      }
+      fill_domain_boundary(b, patch, counts);
+    }
+  }
+}
+
+void Mesh::gather_patch(const Real* field, OctIndex b, Real* patch,
+                        OpCounts* counts) const {
+  const oct::TreeNode& tb = tree_.leaf(b);
+  const auto Ab = anchor_pu(tb);
+  const Pu Sb = spacing_pu(tb.level);
+
+  // Center: the octant's own values.
+  Real u_b[kOctPts];
+  load_octant(field, b, u_b);
+  if (counts) {
+    counts->bytes_read += kOctPts * sizeof(Real);
+    counts->flops += hanging_flops_[b];
+  }
+  for (int k = 0; k < kR; ++k)
+    for (int j = 0; j < kR; ++j)
+      for (int i = 0; i < kR; ++i)
+        patch[patch_idx(i + kPad, j + kPad, k + kPad)] =
+            u_b[oct_idx(i, j, k)];
+  if (counts) counts->bytes_written += kOctPts * sizeof(Real);
+
+  // Padding: gather point by point, loading each contributing source octant
+  // for this patch separately (redundant loads) and re-deriving the
+  // interpolation weights per point (redundant interpolation) — the
+  // loop-over-patches cost structure of Fig. 7.
+  std::vector<std::pair<OctIndex, std::vector<Real>>> loaded;
+  auto source_values = [&](OctIndex e) -> const Real* {
+    for (auto& [oe, u] : loaded)
+      if (oe == e) return u.data();
+    loaded.emplace_back(e, std::vector<Real>(kOctPts));
+    load_octant(field, e, loaded.back().second.data());
+    if (counts) {
+      counts->bytes_read += kOctPts * sizeof(Real);
+      counts->flops += hanging_flops_[e];
+    }
+    return loaded.back().second.data();
+  };
+
+  const auto& adj = adjacency_[b];
+  OctIndex last_found = kInvalidOct;  // consecutive points share sources
+  for (int k = 0; k < kPatch; ++k)
+    for (int j = 0; j < kPatch; ++j)
+      for (int i = 0; i < kPatch; ++i) {
+        if (i >= kPad && i < kPad + kR && j >= kPad && j < kPad + kR &&
+            k >= kPad && k < kPad + kR)
+          continue;  // center already done
+        const std::int64_t p[3] = {
+            std::int64_t(Ab[0]) + std::int64_t(i - kPad) * Sb,
+            std::int64_t(Ab[1]) + std::int64_t(j - kPad) * Sb,
+            std::int64_t(Ab[2]) + std::int64_t(k - kPad) * Sb};
+        if (p[0] < 0 || p[1] < 0 || p[2] < 0 || p[0] > kPuDomain ||
+            p[1] > kPuDomain || p[2] > kPuDomain)
+          continue;  // boundary extrapolation later
+        // Find a source octant whose closed box contains p (trying the
+        // previous point's source first — adjacent points share sources).
+        const auto covers = [&](OctIndex e) {
+          const oct::TreeNode& te = tree_.leaf(e);
+          const auto Ae = anchor_pu(te);
+          const Pu Se = spacing_pu(te.level);
+          for (int a = 0; a < 3; ++a)
+            if (p[a] < Ae[a] || p[a] > Ae[a] + std::int64_t(kR - 1) * Se)
+              return false;
+          return true;
+        };
+        OctIndex found = kInvalidOct;
+        if (last_found != kInvalidOct && covers(last_found)) {
+          found = last_found;
+        } else {
+          for (OctIndex e : adj) {
+            if (covers(e)) {
+              found = e;
+              break;
+            }
+          }
+        }
+        last_found = found;
+        DGR_CHECK_MSG(found != kInvalidOct, "gather: uncovered patch point");
+        const oct::TreeNode& te = tree_.leaf(found);
+        const auto Ae = anchor_pu(te);
+        const Pu Se = spacing_pu(te.level);
+        const Real* u_e = source_values(found);
+        if (te.level >= tb.level) {
+          // Same level or finer: the point coincides with a source point.
+          const int si = static_cast<int>((p[0] - Ae[0]) / Se);
+          const int sj = static_cast<int>((p[1] - Ae[1]) / Se);
+          const int sk = static_cast<int>((p[2] - Ae[2]) / Se);
+          patch[patch_idx(i, j, k)] = u_e[oct_idx(si, sj, sk)];
+        } else {
+          // Coarser: per-point tensor interpolation (redundant relative to
+          // the scatter path's one prolongation per source octant).
+          const Pu Sh = Se / 2;
+          patch[patch_idx(i, j, k)] = prolong_point_cached(
+              u_e, static_cast<int>((p[0] - Ae[0]) / Sh),
+              static_cast<int>((p[1] - Ae[1]) / Sh),
+              static_cast<int>((p[2] - Ae[2]) / Sh), counts);
+        }
+        if (counts) counts->bytes_written += sizeof(Real);
+      }
+}
+
+void Mesh::zip(const Real* patches, int nvar, OctIndex begin, OctIndex end,
+               Real* const* fields, OpCounts* counts) const {
+  DGR_CHECK(begin >= 0 && end <= static_cast<OctIndex>(num_octants()) &&
+            begin <= end);
+  std::uint64_t moved = 0;
+  for (OctIndex b = begin; b < end; ++b) {
+    for (int v = 0; v < nvar; ++v) {
+      const Real* patch = patches +
+                          (static_cast<std::size_t>(b - begin) * nvar + v) *
+                              kPatchPts;
+      Real* field = fields[v];
+      for (const auto& [local, dof] : write_set_[b]) {
+        const int i = local % kR;
+        const int j = (local / kR) % kR;
+        const int k = local / (kR * kR);
+        field[dof] = patch[patch_idx(i + kPad, j + kPad, k + kPad)];
+        ++moved;
+      }
+    }
+  }
+  if (counts) {
+    counts->bytes_read += moved * sizeof(Real);
+    counts->bytes_written += moved * sizeof(Real);
+  }
+}
+
+void Mesh::unzip_all(const Real* const* fields, int nvar, Real* patches,
+                     UnzipMethod method, OpCounts* counts) const {
+  unzip(fields, nvar, 0, static_cast<OctIndex>(num_octants()), patches,
+        method, counts);
+}
+
+}  // namespace dgr::mesh

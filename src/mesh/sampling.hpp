@@ -1,0 +1,40 @@
+#pragma once
+/// \file sampling.hpp
+/// \brief Evaluation of zipped fields at arbitrary physical points via
+/// degree-6 tensor-product Lagrange interpolation inside the containing
+/// octant. Used by the intergrid transfer after regridding and by the
+/// gravitational-wave extraction spheres (paper §III-A, Fig. 4).
+
+#include <array>
+
+#include "common/types.hpp"
+#include "mesh/mesh.hpp"
+
+namespace dgr::mesh {
+
+/// Evaluates one or more zipped fields at arbitrary points, caching the
+/// most recently loaded octant (consecutive queries tend to cluster).
+class PointSampler {
+ public:
+  explicit PointSampler(const Mesh& mesh) : mesh_(mesh) {}
+
+  /// Value of `field` at physical (x, y, z). Points outside the domain are
+  /// clamped to it. Exact (to roundoff) when the point lies on the grid of
+  /// its containing octant; degree-6 interpolation otherwise.
+  Real evaluate(const Real* field, Real x, Real y, Real z);
+
+  /// Evaluate several fields at once (shares the octant lookup).
+  void evaluate_many(const Real* const* fields, int nvar, Real x, Real y,
+                     Real z, Real* out);
+
+ private:
+  /// Locate the octant and the local normalized coordinates t in [0, 6]^3.
+  OctIndex locate(Real x, Real y, Real z, std::array<Real, 3>& t) const;
+
+  const Mesh& mesh_;
+  OctIndex cached_oct_ = kInvalidOct;
+  const Real* cached_field_ = nullptr;
+  Real cached_vals_[kOctPts] = {};
+};
+
+}  // namespace dgr::mesh

@@ -1,0 +1,298 @@
+#include "octree/octree.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace dgr::oct {
+
+namespace {
+
+/// Volume of an octant in finest-unit cells. Fits in 64 bits for
+/// kMaxDepth = 16 (root volume = 2^48).
+std::uint64_t unit_volume(const TreeNode& t) {
+  return std::uint64_t{1} << (3 * (kMaxDepth - t.level));
+}
+
+}  // namespace
+
+Octree::Octree() : leaves_{TreeNode{}} {}
+
+Octree::Octree(std::vector<TreeNode> leaves) : leaves_(std::move(leaves)) {
+  std::sort(leaves_.begin(), leaves_.end(), SfcLess{});
+  validate();
+}
+
+Octree Octree::build(const std::function<Refine(const TreeNode&)>& should_split,
+                     int max_level) {
+  DGR_CHECK(max_level >= 0 && max_level <= kMaxDepth);
+  std::vector<TreeNode> out;
+  std::vector<TreeNode> stack{TreeNode{}};
+  while (!stack.empty()) {
+    TreeNode t = stack.back();
+    stack.pop_back();
+    if (t.level < max_level && should_split(t) == Refine::kSplit) {
+      // Push children in reverse so the SFC-first child is processed first
+      // (order does not matter for correctness; we sort at the end).
+      for (int c = 7; c >= 0; --c) stack.push_back(t.child(c));
+    } else {
+      out.push_back(t);
+    }
+  }
+  std::sort(out.begin(), out.end(), SfcLess{});
+  return Octree(std::move(out));
+}
+
+Octree Octree::uniform(int level) {
+  return build([](const TreeNode&) { return Refine::kSplit; }, level);
+}
+
+int Octree::min_level() const {
+  int m = kMaxDepth;
+  for (const auto& t : leaves_) m = std::min(m, int(t.level));
+  return m;
+}
+
+int Octree::max_level() const {
+  int m = 0;
+  for (const auto& t : leaves_) m = std::max(m, int(t.level));
+  return m;
+}
+
+void Octree::validate() const {
+  DGR_CHECK_MSG(!leaves_.empty(), "octree has no leaves");
+  std::uint64_t vol = 0;
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    if (i + 1 < leaves_.size()) {
+      DGR_CHECK_MSG(SfcLess{}(leaves_[i], leaves_[i + 1]),
+                    "leaves not strictly SFC-sorted");
+      // In SFC order, an overlap implies an immediate ancestor/descendant
+      // adjacency; see octree tests for the property check.
+      DGR_CHECK_MSG(!leaves_[i].contains(leaves_[i + 1]),
+                    "overlapping leaves");
+    }
+    vol += unit_volume(leaves_[i]);
+  }
+  DGR_CHECK_MSG(vol == unit_volume(TreeNode{}),
+                "octree does not cover the domain (incomplete)");
+}
+
+OctIndex Octree::find_leaf(Coord px, Coord py, Coord pz) const {
+  DGR_CHECK(px < kDomainSize && py < kDomainSize && pz < kDomainSize);
+  const TreeNode probe(px, py, pz, kMaxDepth);
+  auto it = std::upper_bound(leaves_.begin(), leaves_.end(), probe, SfcLess{});
+  DGR_CHECK_MSG(it != leaves_.begin(), "point precedes all leaves");
+  --it;
+  // The predecessor may be the probe cell itself (if the tree is fully
+  // refined there) or an ancestor containing it.
+  DGR_CHECK_MSG(it->contains_point(px, py, pz),
+                "completeness violation in find_leaf");
+  return static_cast<OctIndex>(it - leaves_.begin());
+}
+
+OctIndex Octree::find(const TreeNode& t) const {
+  auto it = std::lower_bound(leaves_.begin(), leaves_.end(), t, SfcLess{});
+  if (it != leaves_.end() && *it == t)
+    return static_cast<OctIndex>(it - leaves_.begin());
+  return kInvalidOct;
+}
+
+namespace {
+
+/// Probe points just outside leaf \p t in direction (dx,dy,dz): the corners
+/// of the adjacent strip. An axis-aligned coarser octant (edge >= 2x) that
+/// touches t across this direction must contain at least one of them.
+struct ProbeSet {
+  std::int64_t pts[4][3];
+  int count = 0;
+};
+
+ProbeSet make_probes(const TreeNode& t, int dx, int dy, int dz) {
+  const std::int64_t e = t.edge();
+  const std::int64_t lo[3] = {t.x, t.y, t.z};
+  const int d[3] = {dx, dy, dz};
+  // Candidate coordinates per axis: across-axis gets the single outside
+  // value; in-plane axes get both extremes of t's extent.
+  std::int64_t cand[3][2];
+  int ncand[3];
+  for (int a = 0; a < 3; ++a) {
+    if (d[a] < 0) {
+      cand[a][0] = lo[a] - 1;
+      ncand[a] = 1;
+    } else if (d[a] > 0) {
+      cand[a][0] = lo[a] + e;
+      ncand[a] = 1;
+    } else {
+      cand[a][0] = lo[a];
+      cand[a][1] = lo[a] + e - 1;
+      ncand[a] = 2;
+    }
+  }
+  ProbeSet ps;
+  for (int i = 0; i < ncand[0]; ++i)
+    for (int j = 0; j < ncand[1]; ++j)
+      for (int k = 0; k < ncand[2]; ++k) {
+        ps.pts[ps.count][0] = cand[0][i];
+        ps.pts[ps.count][1] = cand[1][j];
+        ps.pts[ps.count][2] = cand[2][k];
+        ++ps.count;
+      }
+  return ps;
+}
+
+bool probe_in_domain(const std::int64_t p[3]) {
+  for (int a = 0; a < 3; ++a)
+    if (p[a] < 0 || p[a] >= static_cast<std::int64_t>(kDomainSize))
+      return false;
+  return true;
+}
+
+}  // namespace
+
+bool Octree::is_balanced() const {
+  for (const auto& t : leaves_) {
+    for (int dz = -1; dz <= 1; ++dz)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          const ProbeSet ps = make_probes(t, dx, dy, dz);
+          for (int p = 0; p < ps.count; ++p) {
+            if (!probe_in_domain(ps.pts[p])) continue;
+            const OctIndex n = find_leaf(static_cast<Coord>(ps.pts[p][0]),
+                                         static_cast<Coord>(ps.pts[p][1]),
+                                         static_cast<Coord>(ps.pts[p][2]));
+            if (int(leaves_[n].level) < int(t.level) - 1) return false;
+          }
+        }
+  }
+  return true;
+}
+
+Octree Octree::balanced() const {
+  Octree cur = *this;
+  for (;;) {
+    std::unordered_set<TreeNode> to_split;
+    for (const auto& t : cur.leaves_) {
+      for (int dz = -1; dz <= 1; ++dz)
+        for (int dy = -1; dy <= 1; ++dy)
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0 && dz == 0) continue;
+            const ProbeSet ps = make_probes(t, dx, dy, dz);
+            for (int p = 0; p < ps.count; ++p) {
+              if (!probe_in_domain(ps.pts[p])) continue;
+              const OctIndex n =
+                  cur.find_leaf(static_cast<Coord>(ps.pts[p][0]),
+                                static_cast<Coord>(ps.pts[p][1]),
+                                static_cast<Coord>(ps.pts[p][2]));
+              const TreeNode& nb = cur.leaves_[n];
+              if (int(nb.level) < int(t.level) - 1) to_split.insert(nb);
+            }
+          }
+    }
+    if (to_split.empty()) return cur;
+    std::vector<TreeNode> next;
+    next.reserve(cur.leaves_.size() + 7 * to_split.size());
+    for (const auto& t : cur.leaves_) {
+      if (to_split.count(t)) {
+        for (int c = 0; c < 8; ++c) next.push_back(t.child(c));
+      } else {
+        next.push_back(t);
+      }
+    }
+    std::sort(next.begin(), next.end(), SfcLess{});
+    cur.leaves_ = std::move(next);
+  }
+}
+
+std::vector<OctIndex> Octree::neighbors(OctIndex i, int dx, int dy,
+                                        int dz) const {
+  DGR_CHECK(i >= 0 && static_cast<std::size_t>(i) < leaves_.size());
+  DGR_CHECK(!(dx == 0 && dy == 0 && dz == 0));
+  const TreeNode& t = leaves_[i];
+  TreeNode same;
+  if (!t.neighbor(dx, dy, dz, same)) return {};  // domain boundary
+
+  // Same level?
+  if (OctIndex n = find(same); n != kInvalidOct) return {n};
+
+  // One coarser? (Guaranteed at most one level difference under balance.)
+  if (same.level > 0) {
+    if (OctIndex n = find(same.parent()); n != kInvalidOct) return {n};
+  }
+
+  // Finer: collect the children of `same` whose closure touches t.
+  std::vector<OctIndex> out;
+  DGR_CHECK_MSG(same.level < kMaxDepth, "neighbor query hit kMaxDepth");
+  for (int c = 0; c < 8; ++c) {
+    const TreeNode ch = same.child(c);
+    if (!ch.touches(t)) continue;
+    const OctIndex n = find(ch);
+    DGR_CHECK_MSG(n != kInvalidOct,
+                  "tree is not 2:1 balanced (grandchild neighbor)");
+    out.push_back(n);
+  }
+  DGR_CHECK(!out.empty());
+  return out;
+}
+
+Octree Octree::remesh(const std::vector<RemeshFlag>& flags) const {
+  DGR_CHECK(flags.size() == leaves_.size());
+
+  // Group coarsening candidates by parent; coarsen only complete sibling
+  // octets in which every child is flagged kCoarsen.
+  std::unordered_map<TreeNode, int> coarsen_votes;
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    if (flags[i] == RemeshFlag::kCoarsen && leaves_[i].level > 0)
+      coarsen_votes[leaves_[i].parent()] += 1;
+  }
+
+  std::vector<TreeNode> next;
+  next.reserve(leaves_.size());
+  std::unordered_set<TreeNode> emitted_parents;
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    const TreeNode& t = leaves_[i];
+    const bool can_coarsen = flags[i] == RemeshFlag::kCoarsen && t.level > 0 &&
+                             coarsen_votes[t.parent()] == 8;
+    if (can_coarsen) {
+      if (emitted_parents.insert(t.parent()).second)
+        next.push_back(t.parent());
+    } else if (flags[i] == RemeshFlag::kRefine && t.level < kMaxDepth) {
+      for (int c = 0; c < 8; ++c) next.push_back(t.child(c));
+    } else {
+      next.push_back(t);
+    }
+  }
+  std::sort(next.begin(), next.end(), SfcLess{});
+  return Octree(std::move(next)).balanced();
+}
+
+std::vector<std::size_t> sfc_partition(const std::vector<double>& weights,
+                                       int parts) {
+  DGR_CHECK(parts >= 1);
+  DGR_CHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) {
+    DGR_CHECK_MSG(w > 0, "partition weights must be positive");
+    total += w;
+  }
+  std::vector<std::size_t> splits(parts + 1, 0);
+  splits[parts] = weights.size();
+  double prefix = 0;
+  std::size_t idx = 0;
+  for (int p = 1; p < parts; ++p) {
+    const double target = total * p / parts;
+    while (idx < weights.size() && prefix + weights[idx] / 2 < target) {
+      prefix += weights[idx];
+      ++idx;
+    }
+    splits[p] = idx;
+  }
+  // Ensure monotonicity (possible with fewer leaves than parts).
+  for (int p = 1; p <= parts; ++p)
+    splits[p] = std::max(splits[p], splits[p - 1]);
+  return splits;
+}
+
+}  // namespace dgr::oct

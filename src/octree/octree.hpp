@@ -1,0 +1,95 @@
+#pragma once
+/// \file octree.hpp
+/// \brief Linear (leaves-only) octrees: construction from refinement
+/// functors, validation, point location, 2:1 balancing over 26-connectivity,
+/// neighbor queries, and remeshing — the Dendro-style AMR substrate.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "octree/treenode.hpp"
+
+namespace dgr::oct {
+
+/// Decision returned by refinement functors during top-down construction.
+enum class Refine { kKeep, kSplit };
+
+/// Per-leaf action for remeshing (AMR regrid step).
+enum class RemeshFlag { kKeep, kRefine, kCoarsen };
+
+/// A complete, sorted, leaves-only octree over the unit cube domain.
+///
+/// Invariants (checked by validate()):
+///  - leaves sorted by the SFC comparator,
+///  - leaves pairwise non-overlapping,
+///  - leaves cover the whole domain (completeness).
+class Octree {
+ public:
+  Octree();  ///< the root-only tree
+
+  explicit Octree(std::vector<TreeNode> leaves);
+
+  /// Top-down construction: split every octant for which \p should_split
+  /// returns kSplit, up to \p max_level.
+  static Octree build(
+      const std::function<Refine(const TreeNode&)>& should_split,
+      int max_level);
+
+  /// A uniform tree at the given level (8^level leaves).
+  static Octree uniform(int level);
+
+  const std::vector<TreeNode>& leaves() const { return leaves_; }
+  std::size_t size() const { return leaves_.size(); }
+  const TreeNode& leaf(OctIndex i) const { return leaves_[i]; }
+
+  int min_level() const;
+  int max_level() const;
+
+  /// Throws dgr::Error if any invariant is violated.
+  void validate() const;
+
+  /// Index of the unique leaf containing the dyadic point (coordinates are
+  /// clamped convention: a point on a shared boundary belongs to the octant
+  /// with the larger anchor, i.e. we locate by containment in
+  /// [anchor, anchor+edge) and callers pass interior probe points).
+  OctIndex find_leaf(Coord px, Coord py, Coord pz) const;
+
+  /// Exact search; returns kInvalidOct if \p t is not a leaf of this tree.
+  OctIndex find(const TreeNode& t) const;
+
+  /// True if the 2:1 constraint holds across all touching leaf pairs
+  /// (faces, edges and corners): levels differ by at most one.
+  bool is_balanced() const;
+
+  /// Returns the 2:1-balanced (over 26-connectivity) refinement of this
+  /// tree: the coarsest complete tree refining *this that satisfies the
+  /// constraint.
+  Octree balanced() const;
+
+  /// All leaves whose closure touches leaf \p i in direction (dx,dy,dz)
+  /// (each in {-1,0,1}, not all zero). Under 2:1 balance this is exactly one
+  /// same-level, one coarser, or up to four finer octants (one for corners).
+  std::vector<OctIndex> neighbors(OctIndex i, int dx, int dy, int dz) const;
+
+  /// AMR remesh: apply per-leaf flags (coarsening happens only where all 8
+  /// siblings are flagged kCoarsen and are all leaves), then re-balance.
+  Octree remesh(const std::vector<RemeshFlag>& flags) const;
+
+  /// Total number of finest-unit cells covered (for completeness checks).
+  /// Full domain = 8^kMaxDepth, which overflows; we compare level sums
+  /// instead — see validate().
+  bool operator==(const Octree& o) const { return leaves_ == o.leaves_; }
+
+ private:
+  std::vector<TreeNode> leaves_;  // sorted by SfcLess
+};
+
+/// Split \p leaves of the sorted tree into \p parts contiguous SFC chunks
+/// with near-equal total weight; returns the begin index of each part (size
+/// parts+1, last = leaves.size()). Weights must be positive.
+std::vector<std::size_t> sfc_partition(const std::vector<double>& weights,
+                                       int parts);
+
+}  // namespace dgr::oct

@@ -1,0 +1,79 @@
+#include "octree/refinement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dgr::oct {
+
+Real point_box_dist2(const std::array<Real, 3>& p,
+                     const std::array<Real, 3>& lo,
+                     const std::array<Real, 3>& hi) {
+  Real d2 = 0;
+  for (int a = 0; a < 3; ++a) {
+    const Real d = std::max({lo[a] - p[a], Real(0), p[a] - hi[a]});
+    d2 += d * d;
+  }
+  return d2;
+}
+
+Octree build_puncture_octree(const Domain& domain,
+                             const std::vector<Puncture>& punctures,
+                             int base_level, Real cascade_radius_factor) {
+  DGR_CHECK(base_level >= 0 && base_level <= kMaxDepth);
+  auto should_split = [&](const TreeNode& t) {
+    if (int(t.level) < base_level) return Refine::kSplit;
+    const Real e = domain.octant_edge(t.level);
+    const std::array<Real, 3> lo = domain.to_phys(t.x, t.y, t.z);
+    const std::array<Real, 3> hi = {lo[0] + e, lo[1] + e, lo[2] + e};
+    for (const auto& p : punctures) {
+      if (int(t.level) >= p.finest_level) continue;
+      const Real r = cascade_radius_factor * e;
+      if (point_box_dist2(p.pos, lo, hi) < r * r) return Refine::kSplit;
+    }
+    return Refine::kKeep;
+  };
+  int deepest = base_level;
+  for (const auto& p : punctures) deepest = std::max(deepest, p.finest_level);
+  return Octree::build(should_split, deepest).balanced();
+}
+
+Octree build_adaptivity_grid(const Domain& domain, int family_index) {
+  DGR_CHECK_MSG(family_index >= 1 && family_index <= 5,
+                "adaptivity family index must be in 1..5");
+  // Moving from m1 to m5 the grid becomes more uniform (paper §V-A). Real
+  // BBH grids do this as the regrid criterion widens the refined wave zone:
+  // mid levels cover growing shells while the deepest puncture levels are
+  // dropped. We emulate that with per-level refinement radii (fractions of
+  // the half extent): an octant is refined to level l+1 while its box
+  // intersects the ball of radius r[l+1] around the domain center.
+  struct Shells {
+    int base;
+    // radius fraction indexed by target level (base+1 ...); 0 terminates.
+    Real r[6];
+  };
+  static const Shells kFamily[5] = {
+      // m1: deep and narrow (most adaptive) ... m5: shallow and wide.
+      {3, {0.08, 0.040, 0.020, 0.010, 0}},   // levels 4..7
+      {3, {0.30, 0.130, 0.050, 0, 0}},       // levels 4..6
+      {3, {0.45, 0.180, 0.060, 0, 0}},       // levels 4..6
+      {3, {0.85, 0.330, 0, 0, 0}},           // levels 4..5
+      {3, {1.50, 0.520, 0, 0, 0}},           // levels 4..5 (near-uniform L4)
+  };
+  const Shells& fam = kFamily[family_index - 1];
+  auto should_split = [&](const TreeNode& t) {
+    if (int(t.level) < fam.base) return Refine::kSplit;
+    const int slot = int(t.level) - fam.base;
+    if (slot >= 6 || fam.r[slot] <= 0) return Refine::kKeep;
+    const Real e = domain.octant_edge(t.level);
+    const std::array<Real, 3> lo = domain.to_phys(t.x, t.y, t.z);
+    const std::array<Real, 3> hi = {lo[0] + e, lo[1] + e, lo[2] + e};
+    const Real r = fam.r[slot] * domain.half_extent;
+    return point_box_dist2({0, 0, 0}, lo, hi) < r * r ? Refine::kSplit
+                                                      : Refine::kKeep;
+  };
+  return Octree::build(should_split, kMaxDepth).balanced();
+}
+
+}  // namespace dgr::oct

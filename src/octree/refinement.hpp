@@ -1,0 +1,60 @@
+#pragma once
+/// \file refinement.hpp
+/// \brief Physical-domain mapping and the refinement functors that generate
+/// the paper's grids: puncture-centered cascades for binary black holes
+/// (Figs. 3, 12, 13) and the decreasing-adaptivity family m1–m5 (Table III).
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+#include "octree/octree.hpp"
+
+namespace dgr::oct {
+
+/// Mapping between the dyadic octree coordinates and the physical cube
+/// [-half_extent, +half_extent]^3 (geometric units; the paper uses total
+/// binary mass M = 1).
+struct Domain {
+  Real half_extent = 400.0;
+
+  Real to_phys(Coord c) const {
+    return -half_extent +
+           2.0 * half_extent * static_cast<Real>(c) / kDomainSize;
+  }
+  /// Physical edge length of a level-l octant.
+  Real octant_edge(int level) const {
+    return 2.0 * half_extent / static_cast<Real>(Coord{1} << level);
+  }
+  std::array<Real, 3> to_phys(Coord x, Coord y, Coord z) const {
+    return {to_phys(x), to_phys(y), to_phys(z)};
+  }
+};
+
+/// A puncture (black hole location) with its own finest refinement level,
+/// as in the BBH grids of the paper (the small hole carries deeper levels).
+struct Puncture {
+  std::array<Real, 3> pos{0, 0, 0};  ///< physical coordinates
+  int finest_level = 8;              ///< deepest level requested around it
+};
+
+/// Builds a 2:1-balanced octree refined in a geometric cascade around each
+/// puncture: an octant is split while it is coarser than the puncture's
+/// finest level and its box intersects a ball of radius
+/// `cascade_radius_factor x (octant physical edge)` centered at the
+/// puncture. This reproduces the nested-level rings of Fig. 3.
+Octree build_puncture_octree(const Domain& domain,
+                             const std::vector<Puncture>& punctures,
+                             int base_level, Real cascade_radius_factor = 1.5);
+
+/// The Table III adaptivity family: index 1 (most adaptive) … 5 (nearly
+/// uniform). Returns grids with decreasing numbers of level transitions,
+/// built over a fixed domain with two off-center punctures.
+Octree build_adaptivity_grid(const Domain& domain, int family_index);
+
+/// Squared distance from point p to the axis-aligned box [lo, hi].
+Real point_box_dist2(const std::array<Real, 3>& p,
+                     const std::array<Real, 3>& lo,
+                     const std::array<Real, 3>& hi);
+
+}  // namespace dgr::oct

@@ -1,0 +1,169 @@
+#pragma once
+/// \file treenode.hpp
+/// \brief Dyadic octants (nodes of a linear octree) with Morton/space-filling
+/// curve ordering — the substrate of §III-B/§III-C of the paper.
+///
+/// An octant is identified by its anchor (minimum corner) in integer dyadic
+/// coordinates of a fixed-depth coordinate system, plus its level. The root
+/// octant is the whole domain at level 0. Level l octants have edge length
+/// 2^(kMaxDepth - l) dyadic units.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace dgr::oct {
+
+/// Maximum refinement depth of the dyadic coordinate system. 16 keeps anchor
+/// coordinates comfortably inside 32 bits and point coordinates (×6, see
+/// mesh/) inside 32 bits, while allowing far deeper trees than any bench here
+/// instantiates.
+inline constexpr int kMaxDepth = 16;
+
+/// Dyadic coordinate type; valid values are [0, 2^kMaxDepth].
+using Coord = std::uint32_t;
+
+/// Domain extent in dyadic units.
+inline constexpr Coord kDomainSize = Coord{1} << kMaxDepth;
+
+/// A node of the octree (an "octant" in the paper's nomenclature).
+struct TreeNode {
+  Coord x = 0, y = 0, z = 0;  ///< anchor (minimum corner), dyadic units
+  std::uint8_t level = 0;     ///< refinement level, 0 = root
+
+  TreeNode() = default;
+  TreeNode(Coord x_, Coord y_, Coord z_, std::uint8_t lvl)
+      : x(x_), y(y_), z(z_), level(lvl) {
+    DGR_CHECK_MSG(lvl <= kMaxDepth, "octant level exceeds kMaxDepth");
+    const Coord e = edge();
+    DGR_CHECK_MSG((x % e) == 0 && (y % e) == 0 && (z % e) == 0,
+                  "octant anchor not aligned to its level");
+    DGR_CHECK_MSG(x < kDomainSize && y < kDomainSize && z < kDomainSize,
+                  "octant anchor outside domain");
+  }
+
+  /// Edge length in dyadic units.
+  Coord edge() const { return kDomainSize >> level; }
+
+  bool operator==(const TreeNode& o) const {
+    return x == o.x && y == o.y && z == o.z && level == o.level;
+  }
+  bool operator!=(const TreeNode& o) const { return !(*this == o); }
+
+  /// Parent octant (level-1). Root has no parent.
+  TreeNode parent() const {
+    DGR_CHECK(level > 0);
+    const Coord pe = kDomainSize >> (level - 1);
+    return TreeNode((x / pe) * pe, (y / pe) * pe, (z / pe) * pe,
+                    static_cast<std::uint8_t>(level - 1));
+  }
+
+  /// Child c (c in [0,8), bit 0 → +x half, bit 1 → +y, bit 2 → +z).
+  TreeNode child(int c) const {
+    DGR_CHECK(level < kMaxDepth && c >= 0 && c < 8);
+    const Coord he = edge() / 2;
+    return TreeNode(x + ((c & 1) ? he : 0), y + ((c & 2) ? he : 0),
+                    z + ((c & 4) ? he : 0), static_cast<std::uint8_t>(level + 1));
+  }
+
+  /// Which child of its parent this octant is.
+  int child_id() const {
+    DGR_CHECK(level > 0);
+    const Coord he = edge();
+    return ((x / he) & 1) | (((y / he) & 1) << 1) | (((z / he) & 1) << 2);
+  }
+
+  /// True if \p o lies strictly inside this octant's subtree.
+  bool is_ancestor_of(const TreeNode& o) const {
+    if (o.level <= level) return false;
+    const Coord e = edge();
+    return (o.x >= x && o.x < x + e) && (o.y >= y && o.y < y + e) &&
+           (o.z >= z && o.z < z + e);
+  }
+
+  /// True if \p o is this octant or inside its subtree.
+  bool contains(const TreeNode& o) const {
+    return *this == o || is_ancestor_of(o);
+  }
+
+  /// True if the dyadic point (px,py,pz) lies in [anchor, anchor+edge).
+  bool contains_point(Coord px, Coord py, Coord pz) const {
+    const Coord e = edge();
+    return px >= x && px < x + e && py >= y && py < y + e && pz >= z &&
+           pz < z + e;
+  }
+
+  /// True if the two octant closures (including boundary faces) intersect.
+  bool touches(const TreeNode& o) const {
+    const Coord e = edge(), oe = o.edge();
+    return x <= o.x + oe && o.x <= x + e && y <= o.y + oe && o.y <= y + e &&
+           z <= o.z + oe && o.z <= z + e;
+  }
+
+  /// Neighbor octant at the same level, offset by (dx,dy,dz) octant edges.
+  /// Returns false if the neighbor would fall outside the domain.
+  bool neighbor(int dx, int dy, int dz, TreeNode& out) const {
+    const auto off = [&](Coord c, int d, Coord e) -> std::int64_t {
+      return static_cast<std::int64_t>(c) + static_cast<std::int64_t>(d) * e;
+    };
+    const Coord e = edge();
+    const std::int64_t nx = off(x, dx, e), ny = off(y, dy, e), nz = off(z, dz, e);
+    if (nx < 0 || ny < 0 || nz < 0 || nx >= static_cast<std::int64_t>(kDomainSize) ||
+        ny >= static_cast<std::int64_t>(kDomainSize) ||
+        nz >= static_cast<std::int64_t>(kDomainSize))
+      return false;
+    out = TreeNode(static_cast<Coord>(nx), static_cast<Coord>(ny),
+                   static_cast<Coord>(nz), level);
+    return true;
+  }
+
+  /// 64-bit Morton key of the anchor at kMaxDepth resolution (bit-interleave
+  /// of x, y, z). Ancestors share the key of their first-child chain, so the
+  /// SFC comparator below breaks ties by level (coarse first) to obtain the
+  /// pre-order traversal of the tree.
+  std::uint64_t morton() const {
+    auto spread = [](std::uint64_t v) {
+      // Standard 21-bit 3D bit-spread (we only need kMaxDepth = 16 bits).
+      v &= 0x1fffffULL;
+      v = (v | (v << 32)) & 0x001f00000000ffffULL;
+      v = (v | (v << 16)) & 0x001f0000ff0000ffULL;
+      v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+      v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+      v = (v | (v << 2)) & 0x1249249249249249ULL;
+      return v;
+    };
+    return spread(x) | (spread(y) << 1) | (spread(z) << 2);
+  }
+};
+
+/// Space-filling-curve ("Morton / pre-order") comparator for linear octrees:
+/// sorts by Morton key of the anchor; an ancestor precedes its descendants.
+struct SfcLess {
+  bool operator()(const TreeNode& a, const TreeNode& b) const {
+    const std::uint64_t ka = a.morton(), kb = b.morton();
+    if (ka != kb) return ka < kb;
+    return a.level < b.level;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const TreeNode& t) {
+  return os << "oct(" << t.x << "," << t.y << "," << t.z
+            << ";L=" << int(t.level) << ")";
+}
+
+}  // namespace dgr::oct
+
+namespace std {
+template <>
+struct hash<dgr::oct::TreeNode> {
+  size_t operator()(const dgr::oct::TreeNode& t) const noexcept {
+    // Morton key is unique given (anchor,level) except along first-child
+    // chains; mix the level in.
+    return static_cast<size_t>(t.morton() * 1315423911ULL) ^
+           (static_cast<size_t>(t.level) << 1);
+  }
+};
+}  // namespace std

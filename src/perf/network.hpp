@@ -1,0 +1,27 @@
+#pragma once
+/// \file network.hpp
+/// \brief Latency–bandwidth (alpha–beta) interconnect models used to
+/// convert measured halo-exchange volumes into modeled communication time
+/// for the scaling studies (Figs. 17, 18, 20).
+
+#include <cstdint>
+
+namespace dgr::perf {
+
+struct NetworkModel {
+  const char* name;
+  double alpha;  ///< per-message latency, seconds
+  double beta;   ///< per-byte cost, seconds (1 / bandwidth)
+
+  double time(std::uint64_t bytes, int messages = 1) const {
+    return alpha * messages + beta * static_cast<double>(bytes);
+  }
+};
+
+/// NVLink 3 between A100s on one node (~250 GB/s effective per direction).
+inline NetworkModel nvlink() { return {"NVLink3", 5.0e-6, 1.0 / 250.0e9}; }
+
+/// HDR InfiniBand between nodes (~23 GB/s effective).
+inline NetworkModel infiniband() { return {"HDR-IB", 2.0e-6, 1.0 / 23.0e9}; }
+
+}  // namespace dgr::perf

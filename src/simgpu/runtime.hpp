@@ -1,0 +1,138 @@
+#pragma once
+/// \file runtime.hpp
+/// \brief Simulated GPU runtime. Kernels execute on the host under a
+/// block-level launch abstraction while recording their operation counts;
+/// modeled device time comes from feeding those counts through the §III-D
+/// slow–fast memory model (perf::MachineModel). Host<->device transfers and
+/// device memory are accounted the same way, and streams tag kernels so the
+/// asynchronous wave-extraction path (Algorithm 1) can be excluded from the
+/// critical path.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/counters.hpp"
+#include "common/timer.hpp"
+#include "perf/machine_model.hpp"
+
+namespace dgr::simgpu {
+
+struct KernelRecord {
+  int launches = 0;
+  std::uint64_t blocks = 0;
+  int stream = 0;
+  OpCounts counts;              ///< totals over all launches
+  std::vector<OpCounts> per_launch;  ///< per-launch counts (model input)
+  double host_seconds = 0;
+
+  /// Modeled device time: the finite-cache model applied per launch (the
+  /// §III-D working set m is a per-kernel-invocation quantity).
+  double modeled_seconds(const perf::MachineModel& m) const {
+    double t = 0;
+    for (const auto& c : per_launch) t += m.time_finite_cache(c);
+    return t;
+  }
+};
+
+class GpuRuntime {
+ public:
+  explicit GpuRuntime(perf::MachineModel model = perf::a100())
+      : model_(std::move(model)) {}
+
+  const perf::MachineModel& model() const { return model_; }
+
+  // ------------------------------------------------- memory accounting --
+  void device_alloc(std::uint64_t bytes) {
+    allocated_ += bytes;
+    peak_ = std::max(peak_, allocated_);
+  }
+  void device_free(std::uint64_t bytes) {
+    allocated_ -= std::min(allocated_, bytes);
+  }
+  void h2d(std::uint64_t bytes) { h2d_bytes_ += bytes; }
+  void d2h(std::uint64_t bytes) { d2h_bytes_ += bytes; }
+
+  std::uint64_t allocated_bytes() const { return allocated_; }
+  std::uint64_t peak_bytes() const { return peak_; }
+  std::uint64_t h2d_bytes() const { return h2d_bytes_; }
+  std::uint64_t d2h_bytes() const { return d2h_bytes_; }
+
+  /// Modeled PCIe transfer time for all H2D/D2H traffic so far.
+  double transfer_seconds() const {
+    if (model_.h2d_bw <= 0) return 0;
+    return static_cast<double>(h2d_bytes_ + d2h_bytes_) / model_.h2d_bw;
+  }
+
+  // --------------------------------------------------- kernel launches --
+  /// Execute `body` as one kernel launch of `blocks` blocks on `stream`.
+  /// The body receives an OpCounts to fill with the work it performed.
+  template <class F>
+  void launch(const std::string& name, std::uint64_t blocks, int stream,
+              F&& body) {
+    KernelRecord& rec = records_[name];
+    WallTimer t;
+    OpCounts c;
+    body(c);
+    rec.host_seconds += t.seconds();
+    rec.counts += c;
+    rec.per_launch.push_back(c);
+    rec.launches += 1;
+    rec.blocks += blocks;
+    rec.stream = stream;
+  }
+
+  bool has_kernel(const std::string& name) const {
+    return records_.count(name) > 0;
+  }
+  const KernelRecord& record(const std::string& name) const {
+    return records_.at(name);
+  }
+  const std::map<std::string, KernelRecord>& records() const {
+    return records_;
+  }
+
+  /// Modeled device time of one kernel (finite-cache model of §III-D,
+  /// applied per launch).
+  double modeled_kernel_seconds(const std::string& name) const {
+    return records_.at(name).modeled_seconds(model_);
+  }
+
+  /// Modeled device time of the synchronous pipeline (stream 0) plus
+  /// transfers; kernels on other streams overlap (Algorithm 1's async wave
+  /// extraction) and are excluded unless `include_async`.
+  double modeled_total_seconds(bool include_async = false) const {
+    return modeled_total_with(model_, include_async) + transfer_seconds();
+  }
+
+  /// Same pipeline evaluated under a different machine model (the CPU side
+  /// of the paper's GPU-vs-node comparisons).
+  double modeled_total_with(const perf::MachineModel& m,
+                            bool include_async = false) const {
+    double t = 0;
+    for (const auto& [name, rec] : records_)
+      if (rec.stream == 0 || include_async) t += rec.modeled_seconds(m);
+    return t;
+  }
+
+  double host_total_seconds() const {
+    double t = 0;
+    for (const auto& [name, rec] : records_) t += rec.host_seconds;
+    return t;
+  }
+
+  void reset_counters() {
+    records_.clear();
+    h2d_bytes_ = d2h_bytes_ = 0;
+  }
+
+ private:
+  perf::MachineModel model_;
+  std::map<std::string, KernelRecord> records_;
+  std::uint64_t allocated_ = 0, peak_ = 0;
+  std::uint64_t h2d_bytes_ = 0, d2h_bytes_ = 0;
+};
+
+}  // namespace dgr::simgpu

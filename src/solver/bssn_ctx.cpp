@@ -1,0 +1,131 @@
+#include "solver/bssn_ctx.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "mesh/sampling.hpp"
+
+namespace dgr::solver {
+
+using bssn::BssnState;
+using bssn::kNumVars;
+using mesh::kPatchPts;
+
+BssnCtx::BssnCtx(std::shared_ptr<mesh::Mesh> mesh, SolverConfig config)
+    : mesh_(std::move(mesh)), config_(config) {
+  DGR_CHECK(mesh_ != nullptr);
+  DGR_CHECK(config_.chunk_octants > 0);
+  state_.resize(mesh_->num_dofs());
+  for (auto& k : k_) k.resize(mesh_->num_dofs());
+  stage_.resize(mesh_->num_dofs());
+  const std::size_t cap =
+      static_cast<std::size_t>(config_.chunk_octants) * kNumVars * kPatchPts;
+  patch_in_.resize(cap);
+  patch_out_.resize(cap);
+}
+
+Real BssnCtx::suggested_dt() const {
+  return config_.cfl * mesh_->finest_spacing();
+}
+
+void BssnCtx::compute_rhs(const BssnState& u, BssnState& rhs) {
+  const auto in = u.cptrs();
+  const auto out = rhs.ptrs();
+  const OctIndex n = static_cast<OctIndex>(mesh_->num_octants());
+  const Real half = mesh_->domain().half_extent;
+
+  for (OctIndex begin = 0; begin < n; begin += config_.chunk_octants) {
+    const OctIndex end =
+        std::min<OctIndex>(begin + config_.chunk_octants, n);
+
+    phases_.unzip.start();
+    mesh_->unzip(in.data(), kNumVars, begin, end, patch_in_.data(),
+                 config_.unzip_method, &counts_);
+    phases_.unzip.stop();
+
+    phases_.rhs.start();
+    for (OctIndex e = begin; e < end; ++e) {
+      const std::size_t base =
+          static_cast<std::size_t>(e - begin) * kNumVars * kPatchPts;
+      const Real* pin[kNumVars];
+      Real* pout[kNumVars];
+      for (int v = 0; v < kNumVars; ++v) {
+        pin[v] = &patch_in_[base + v * kPatchPts];
+        pout[v] = &patch_out_[base + v * kPatchPts];
+      }
+      bssn::bssn_rhs_patch(pin, pout, mesh_->patch_geom(e), half,
+                           config_.bssn, ws_, &counts_);
+    }
+    phases_.rhs.stop();
+
+    phases_.zip.start();
+    mesh_->zip(patch_out_.data(), kNumVars, begin, end, out.data(), &counts_);
+    phases_.zip.stop();
+  }
+}
+
+void BssnCtx::rk4_step(Real dt) {
+  // Classical RK4: k1 = F(u), k2 = F(u + dt/2 k1), k3 = F(u + dt/2 k2),
+  // k4 = F(u + dt k3), u += dt/6 (k1 + 2 k2 + 2 k3 + k4).
+  compute_rhs(state_, k_[0]);
+
+  phases_.update.start();
+  stage_.set_axpy(state_, 0.5 * dt, k_[0]);
+  phases_.update.stop();
+  compute_rhs(stage_, k_[1]);
+
+  phases_.update.start();
+  stage_.set_axpy(state_, 0.5 * dt, k_[1]);
+  phases_.update.stop();
+  compute_rhs(stage_, k_[2]);
+
+  phases_.update.start();
+  stage_.set_axpy(state_, dt, k_[2]);
+  phases_.update.stop();
+  compute_rhs(stage_, k_[3]);
+
+  phases_.update.start();
+  state_.axpy(dt / 6.0, k_[0]);
+  state_.axpy(dt / 3.0, k_[1]);
+  state_.axpy(dt / 3.0, k_[2]);
+  state_.axpy(dt / 6.0, k_[3]);
+  phases_.update.stop();
+
+  time_ += dt;
+  ++steps_;
+}
+
+void BssnCtx::evolve_steps(int n) {
+  for (int i = 0; i < n; ++i) rk4_step();
+}
+
+bssn::ConstraintNorms BssnCtx::constraint_norms(
+    const std::vector<std::array<Real, 3>>& excise, Real excise_radius) const {
+  return bssn::compute_constraint_norms(*mesh_, state_, config_.bssn, excise,
+                                        excise_radius);
+}
+
+void BssnCtx::remesh(std::shared_ptr<mesh::Mesh> new_mesh) {
+  DGR_CHECK(new_mesh != nullptr);
+  BssnState next = transfer_state(*mesh_, state_, *new_mesh);
+  mesh_ = std::move(new_mesh);
+  state_ = std::move(next);
+  for (auto& k : k_) k.resize(mesh_->num_dofs());
+  stage_.resize(mesh_->num_dofs());
+}
+
+BssnState transfer_state(const mesh::Mesh& src_mesh, const BssnState& src,
+                         const mesh::Mesh& dst_mesh) {
+  BssnState out(dst_mesh.num_dofs());
+  mesh::PointSampler sampler(src_mesh);
+  const auto in = src.cptrs();
+  std::array<Real, kNumVars> vals;
+  for (DofIndex d = 0; d < static_cast<DofIndex>(dst_mesh.num_dofs()); ++d) {
+    const auto x = dst_mesh.dof_position(d);
+    sampler.evaluate_many(in.data(), kNumVars, x[0], x[1], x[2], vals.data());
+    for (int v = 0; v < kNumVars; ++v) out.field(v)[d] = vals[v];
+  }
+  return out;
+}
+
+}  // namespace dgr::solver

@@ -1,0 +1,111 @@
+#pragma once
+/// \file bssn_ctx.hpp
+/// \brief The BSSN evolution context — the CPU analogue of the paper's
+/// `bssnSolverCtx` and the host side of Algorithm 1. Drives the
+/// halo-consistent unzip -> RHS -> zip -> AXPY pipeline with RK4 time
+/// stepping, per-phase cost breakdown (Fig. 20), and error-driven
+/// regridding.
+
+#include <functional>
+#include <memory>
+
+#include "bssn/constraints.hpp"
+#include "bssn/rhs.hpp"
+#include "bssn/state.hpp"
+#include "common/counters.hpp"
+#include "common/timer.hpp"
+#include "mesh/mesh.hpp"
+
+namespace dgr::solver {
+
+struct SolverConfig {
+  bssn::BssnParams bssn;
+  Real cfl = 0.25;  ///< Courant factor lambda (paper §III-A)
+  /// Octants processed per pipeline chunk (bounds patch-buffer memory; the
+  /// GPU analogue launches one block per octant).
+  int chunk_octants = 64;
+  mesh::UnzipMethod unzip_method = mesh::UnzipMethod::kLoopOverOctants;
+};
+
+/// Per-phase accumulated wall-clock cost of the evolution pipeline; the
+/// breakdown reported in the paper's Fig. 20.
+struct PhaseBreakdown {
+  PhaseTimer unzip;    ///< octant-to-patch (incl. halo/hanging resolution)
+  PhaseTimer rhs;      ///< derivative + algebraic stages
+  PhaseTimer zip;      ///< patch-to-octant
+  PhaseTimer update;   ///< RK stage AXPY combinations
+  void reset() {
+    unzip.reset();
+    rhs.reset();
+    zip.reset();
+    update.reset();
+  }
+  double total() const {
+    return unzip.total_seconds() + rhs.total_seconds() + zip.total_seconds() +
+           update.total_seconds();
+  }
+};
+
+class BssnCtx {
+ public:
+  BssnCtx(std::shared_ptr<mesh::Mesh> mesh, SolverConfig config);
+
+  const mesh::Mesh& mesh() const { return *mesh_; }
+  const SolverConfig& config() const { return config_; }
+  bssn::BssnState& state() { return state_; }
+  const bssn::BssnState& state() const { return state_; }
+  Real time() const { return time_; }
+  std::size_t steps_taken() const { return steps_; }
+
+  /// Global timestep from the finest spacing (lambda * h_min).
+  Real suggested_dt() const;
+
+  /// Evaluate the BSSN RHS of `u` into `rhs` over the whole mesh (chunked
+  /// unzip -> patch RHS -> zip).
+  void compute_rhs(const bssn::BssnState& u, bssn::BssnState& rhs);
+
+  /// One explicit RK4 step with global timestepping (paper §III-A).
+  void rk4_step(Real dt);
+  void rk4_step() { rk4_step(suggested_dt()); }
+
+  /// Advance n steps.
+  void evolve_steps(int n);
+
+  /// Constraint norms of the current state.
+  bssn::ConstraintNorms constraint_norms(
+      const std::vector<std::array<Real, 3>>& excise = {},
+      Real excise_radius = 0.0) const;
+
+  const PhaseBreakdown& breakdown() const { return phases_; }
+  PhaseBreakdown& breakdown() { return phases_; }
+  const OpCounts& op_counts() const { return counts_; }
+  void reset_instrumentation() {
+    phases_.reset();
+    counts_ = OpCounts{};
+  }
+
+  /// Replace the mesh (after a regrid): transfers the current state onto
+  /// the new mesh by degree-6 interpolation.
+  void remesh(std::shared_ptr<mesh::Mesh> new_mesh);
+
+ private:
+  std::shared_ptr<mesh::Mesh> mesh_;
+  SolverConfig config_;
+  bssn::BssnState state_;
+  bssn::BssnState k_[4], stage_;
+  Real time_ = 0;
+  std::size_t steps_ = 0;
+  PhaseBreakdown phases_;
+  OpCounts counts_;
+  bssn::DerivWorkspace ws_;
+  std::vector<Real> patch_in_, patch_out_;
+};
+
+/// Transfer all 24 fields of `src` (on `src_mesh`) to a state on
+/// `dst_mesh`, by exact copy where points coincide and degree-6
+/// interpolation elsewhere.
+bssn::BssnState transfer_state(const mesh::Mesh& src_mesh,
+                               const bssn::BssnState& src,
+                               const mesh::Mesh& dst_mesh);
+
+}  // namespace dgr::solver

@@ -1,0 +1,69 @@
+#include "solver/evolution.hpp"
+
+#include "common/error.hpp"
+#include "mesh/sampling.hpp"
+
+namespace dgr::solver {
+
+void PunctureTracker::step(const mesh::Mesh& mesh,
+                           const bssn::BssnState& state, Real dt) {
+  mesh::PointSampler sampler(mesh);
+  for (auto& pos : positions_) {
+    Real beta[3];
+    const Real* fields[3] = {state.field(bssn::kBeta0),
+                             state.field(bssn::kBeta1),
+                             state.field(bssn::kBeta2)};
+    sampler.evaluate_many(fields, 3, pos[0], pos[1], pos[2], beta);
+    for (int a = 0; a < 3; ++a) pos[a] -= dt * beta[a];
+  }
+}
+
+EvolutionResult evolve(BssnCtx& ctx, const EvolutionConfig& config,
+                       PunctureTracker* tracker,
+                       const std::function<void(const BssnCtx&)>& on_step) {
+  DGR_CHECK(config.regrid_every > 0 && config.extract_every > 0);
+  EvolutionResult result;
+
+  std::optional<gw::WaveExtractor> extractor;
+  if (!config.extraction_radii.empty()) {
+    extractor.emplace(config.extraction_radii, config.lmax);
+    for (Real r : config.extraction_radii) {
+      gw::ModeTimeSeries ts;
+      ts.l = 2;
+      ts.m = 2;
+      ts.radius = r;
+      result.waves22.push_back(ts);
+    }
+  }
+
+  while (ctx.time() < config.t_end - 1e-12) {
+    // One re-grid window of f_r steps (Algorithm 1 lines 5-10).
+    for (int i = 0; i < config.regrid_every && ctx.time() < config.t_end;
+         ++i) {
+      const Real dt =
+          std::min(ctx.suggested_dt(), config.t_end - ctx.time());
+      ctx.rk4_step(dt);
+      ++result.steps;
+      if (tracker) tracker->step(ctx.mesh(), ctx.state(), dt);
+      if (extractor && result.steps % config.extract_every == 0) {
+        const auto modes = extractor->extract_from_state(
+            ctx.mesh(), ctx.state(), ctx.config().bssn);
+        for (std::size_t r = 0; r < modes.size(); ++r)
+          result.waves22[r].append(ctx.time(), modes[r].mode(2, 2));
+      }
+      if (on_step) on_step(ctx);
+    }
+    // Re-grid (Algorithm 1 line 3): the host-side synchronization point.
+    if (ctx.time() < config.t_end - 1e-12) {
+      auto next = regrid_mesh(ctx.mesh(), ctx.state(), config.regrid);
+      if (next) {
+        ctx.remesh(next);
+        ++result.regrids;
+      }
+    }
+  }
+  if (tracker) result.final_punctures = tracker->positions();
+  return result;
+}
+
+}  // namespace dgr::solver

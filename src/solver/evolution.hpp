@@ -1,0 +1,60 @@
+#pragma once
+/// \file evolution.hpp
+/// \brief The full evolution driver of Algorithm 1: advance the state in
+/// windows of f_r timesteps, re-grid between windows (the only host<->
+/// device synchronization point in the paper's design), track the puncture
+/// positions through the shift vector, and record gravitational-wave modes
+/// at a configurable cadence.
+
+#include <functional>
+#include <optional>
+
+#include "gw/extract.hpp"
+#include "solver/bssn_ctx.hpp"
+#include "solver/regrid.hpp"
+
+namespace dgr::solver {
+
+/// Punctures move opposite the shift: dx/dt = -beta(x) (moving-puncture
+/// gauge). The tracker integrates this with forward Euler at each step.
+class PunctureTracker {
+ public:
+  explicit PunctureTracker(std::vector<std::array<Real, 3>> positions)
+      : positions_(std::move(positions)) {}
+
+  const std::vector<std::array<Real, 3>>& positions() const {
+    return positions_;
+  }
+
+  /// Advance all puncture positions by dt using the current shift field.
+  void step(const mesh::Mesh& mesh, const bssn::BssnState& state, Real dt);
+
+ private:
+  std::vector<std::array<Real, 3>> positions_;
+};
+
+struct EvolutionConfig {
+  Real t_end = 1.0;
+  int regrid_every = 16;    ///< f_r of Algorithm 1
+  int extract_every = 4;    ///< wave-extraction cadence (paper: every 16)
+  RegridConfig regrid;
+  /// Extraction sphere radii; empty disables extraction.
+  std::vector<Real> extraction_radii;
+  int lmax = 2;
+};
+
+struct EvolutionResult {
+  int steps = 0;
+  int regrids = 0;
+  /// (l=2, m=2) mode series per extraction radius.
+  std::vector<gw::ModeTimeSeries> waves22;
+  std::vector<std::array<Real, 3>> final_punctures;
+};
+
+/// Run Algorithm 1 on an initialized context. `on_step` (optional) is
+/// called after every accepted step with (ctx, tracker).
+EvolutionResult evolve(
+    BssnCtx& ctx, const EvolutionConfig& config, PunctureTracker* tracker,
+    const std::function<void(const BssnCtx&)>& on_step = nullptr);
+
+}  // namespace dgr::solver

@@ -1,0 +1,116 @@
+#include "solver/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace dgr::solver {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x4447525F43505431ULL;  // "DGR_CPT1"
+constexpr std::uint32_t kVersion = 1;
+
+template <class T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <class T>
+void get(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  DGR_CHECK_MSG(bool(is), "truncated checkpoint");
+}
+}  // namespace
+
+void save_checkpoint(const std::string& path, const mesh::Mesh& mesh,
+                     const bssn::BssnState& state, Real time,
+                     std::uint64_t step) {
+  DGR_CHECK(state.num_dofs() == mesh.num_dofs());
+  std::ofstream os(path, std::ios::binary);
+  DGR_CHECK_MSG(bool(os), "cannot open checkpoint for writing: " + path);
+  put(os, kMagic);
+  put(os, kVersion);
+  put(os, mesh.domain().half_extent);
+  put(os, time);
+  put(os, step);
+  const auto& leaves = mesh.tree().leaves();
+  put(os, std::uint64_t(leaves.size()));
+  for (const auto& t : leaves) {
+    put(os, t.x);
+    put(os, t.y);
+    put(os, t.z);
+    put(os, t.level);
+  }
+  put(os, std::uint64_t(mesh.num_dofs()));
+  for (int v = 0; v < bssn::kNumVars; ++v)
+    os.write(reinterpret_cast<const char*>(state.field(v)),
+             mesh.num_dofs() * sizeof(Real));
+  DGR_CHECK_MSG(bool(os), "checkpoint write failed: " + path);
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DGR_CHECK_MSG(bool(is), "cannot open checkpoint: " + path);
+  std::uint64_t magic;
+  std::uint32_t version;
+  get(is, magic);
+  DGR_CHECK_MSG(magic == kMagic, "not a dendrite-gr checkpoint: " + path);
+  get(is, version);
+  DGR_CHECK_MSG(version == kVersion, "unsupported checkpoint version");
+
+  Checkpoint cp;
+  get(is, cp.domain.half_extent);
+  get(is, cp.time);
+  get(is, cp.step);
+  std::uint64_t nleaves;
+  get(is, nleaves);
+  std::vector<oct::TreeNode> leaves;
+  leaves.reserve(nleaves);
+  for (std::uint64_t i = 0; i < nleaves; ++i) {
+    oct::Coord x, y, z;
+    std::uint8_t level;
+    get(is, x);
+    get(is, y);
+    get(is, z);
+    get(is, level);
+    leaves.emplace_back(x, y, z, level);
+  }
+  cp.tree = oct::Octree(std::move(leaves));  // validates on construction
+
+  std::uint64_t ndofs;
+  get(is, ndofs);
+  cp.state.resize(ndofs);
+  for (int v = 0; v < bssn::kNumVars; ++v) {
+    is.read(reinterpret_cast<char*>(cp.state.field(v)),
+            ndofs * sizeof(Real));
+    DGR_CHECK_MSG(bool(is), "truncated checkpoint fields");
+  }
+  return cp;
+}
+
+void write_vtk_points(const std::string& path, const mesh::Mesh& mesh,
+                      const bssn::BssnState& state,
+                      const std::vector<int>& vars) {
+  DGR_CHECK(state.num_dofs() == mesh.num_dofs());
+  std::ofstream os(path);
+  DGR_CHECK_MSG(bool(os), "cannot open VTK file for writing: " + path);
+  const std::size_t n = mesh.num_dofs();
+  os << "# vtk DataFile Version 3.0\n"
+     << "dendrite-gr snapshot\nASCII\nDATASET UNSTRUCTURED_GRID\n"
+     << "POINTS " << n << " double\n";
+  for (DofIndex d = 0; d < DofIndex(n); ++d) {
+    const auto x = mesh.dof_position(d);
+    os << x[0] << " " << x[1] << " " << x[2] << "\n";
+  }
+  os << "POINT_DATA " << n << "\n";
+  for (int v : vars) {
+    DGR_CHECK(v >= 0 && v < bssn::kNumVars);
+    os << "SCALARS " << bssn::var_name(v) << " double 1\n"
+       << "LOOKUP_TABLE default\n";
+    const Real* f = state.field(v);
+    for (std::size_t d = 0; d < n; ++d) os << f[d] << "\n";
+  }
+  DGR_CHECK_MSG(bool(os), "VTK write failed: " + path);
+}
+
+}  // namespace dgr::solver

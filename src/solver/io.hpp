@@ -1,0 +1,39 @@
+#pragma once
+/// \file io.hpp
+/// \brief Checkpoint/restart and visualization output. Production NR runs
+/// last days to weeks (Table IV), so restartable state is part of the
+/// system: a checkpoint stores the octree, domain, time/step counters and
+/// all 24 zipped fields in a versioned binary format. VTK legacy output
+/// (point cloud with per-DOF scalars) loads directly in ParaView/VisIt.
+
+#include <string>
+
+#include "bssn/state.hpp"
+#include "mesh/mesh.hpp"
+
+namespace dgr::solver {
+
+struct Checkpoint {
+  oct::Octree tree;
+  oct::Domain domain;
+  Real time = 0;
+  std::uint64_t step = 0;
+  bssn::BssnState state;
+};
+
+/// Write a checkpoint; throws dgr::Error on I/O failure.
+void save_checkpoint(const std::string& path, const mesh::Mesh& mesh,
+                     const bssn::BssnState& state, Real time,
+                     std::uint64_t step);
+
+/// Read a checkpoint written by save_checkpoint; validates magic, version,
+/// and structural consistency (field sizes vs the rebuilt mesh).
+Checkpoint load_checkpoint(const std::string& path);
+
+/// Write selected variables of a zipped state as a legacy-VTK point cloud
+/// (POINTS + POINT_DATA scalars), one scalar array per variable.
+void write_vtk_points(const std::string& path, const mesh::Mesh& mesh,
+                      const bssn::BssnState& state,
+                      const std::vector<int>& vars);
+
+}  // namespace dgr::solver

@@ -1,0 +1,149 @@
+/// \file test_comm.cpp
+/// \brief Simulated-communicator tests: SFC partitioning, real ghost-layer
+/// accounting, halo-exchange data movement, and the scaling-point model.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "comm/partition.hpp"
+#include "common/rng.hpp"
+#include "octree/refinement.hpp"
+
+namespace dgr::comm {
+namespace {
+
+using mesh::Mesh;
+using oct::Domain;
+using oct::Octree;
+
+Mesh make_mesh(int level = 2) { return Mesh(Octree::uniform(level), Domain{1.0}); }
+
+Mesh make_adaptive() {
+  Domain dom{8.0};
+  return Mesh(oct::build_puncture_octree(dom, {{{0.05, 0.03, 0.01}, 5}}, 2),
+              dom);
+}
+
+TEST(Partition, SplitsCoverAllOctants) {
+  Mesh m = make_mesh();
+  for (int ranks : {1, 2, 4, 7}) {
+    const auto part = partition_mesh(m, ranks);
+    ASSERT_EQ(part.splits.size(), std::size_t(ranks + 1));
+    EXPECT_EQ(part.splits.front(), 0u);
+    EXPECT_EQ(part.splits.back(), m.num_octants());
+    double total_work = 0;
+    for (double w : part.work) total_work += w;
+    EXPECT_DOUBLE_EQ(total_work, double(m.num_octants()));
+  }
+}
+
+TEST(Partition, RankOfIsConsistentWithSplits) {
+  Mesh m = make_mesh();
+  const auto part = partition_mesh(m, 4);
+  for (OctIndex e = 0; e < OctIndex(m.num_octants()); ++e) {
+    const int r = part.rank_of(e);
+    EXPECT_GE(std::size_t(e), part.owned_begin(r));
+    EXPECT_LT(std::size_t(e), part.owned_end(r));
+  }
+}
+
+TEST(Partition, UniformMeshBalanced) {
+  Mesh m = make_mesh(2);  // 64 octants
+  const auto part = partition_mesh(m, 4);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(part.work[r], 16.0);
+}
+
+TEST(Partition, SingleRankHasNoGhosts) {
+  Mesh m = make_mesh();
+  const auto part = partition_mesh(m, 1);
+  EXPECT_EQ(part.ghost_octants[0], 0u);
+  EXPECT_EQ(part.send_bytes[0], 0u);
+  EXPECT_EQ(part.neighbor_ranks[0], 0);
+}
+
+TEST(Partition, GhostLayerGrowsSublinearly) {
+  // Surface-to-volume: per-rank ghost fraction grows with ranks, but the
+  // ghost layer stays well below the owned octant count for few ranks.
+  Mesh m = make_adaptive();
+  const auto p2 = partition_mesh(m, 2);
+  const auto p8 = partition_mesh(m, 8);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_GT(p2.ghost_octants[r], 0u);
+    EXPECT_LT(p2.ghost_octants[r], m.num_octants() / 2);
+  }
+  std::size_t g2 = 0, g8 = 0;
+  for (auto g : p2.ghost_octants) g2 += g;
+  for (auto g : p8.ghost_octants) g8 += g;
+  EXPECT_GT(g8, g2);  // more ranks -> more total halo
+}
+
+TEST(HaloExchange, BytesMatchGhostCount) {
+  Mesh m = make_mesh();
+  const auto part = partition_mesh(m, 4);
+  std::vector<Real> field(m.num_dofs(), 1.5);
+  const std::uint64_t bytes =
+      halo_exchange_field(m, part, field.data(), nullptr);
+  std::uint64_t ghosts = 0;
+  for (auto g : part.ghost_octants) ghosts += g;
+  EXPECT_EQ(bytes, ghosts * mesh::kOctPts * sizeof(Real));
+}
+
+TEST(HaloExchange, GhostValuesMatchGlobalField) {
+  Mesh m = make_adaptive();
+  Rng rng(31);
+  std::vector<Real> field(m.num_dofs());
+  for (auto& v : field) v = rng.uniform(-1, 1);
+  const auto part = partition_mesh(m, 3);
+  std::vector<std::vector<Real>> ghosts;
+  halo_exchange_field(m, part, field.data(), &ghosts);
+  // Re-derive each rank's ghost list in the same (sorted) order and compare
+  // the exchanged payload against direct octant loads.
+  for (int r = 0; r < 3; ++r) {
+    std::set<OctIndex> gset;
+    for (std::size_t e = part.splits[r]; e < part.splits[r + 1]; ++e)
+      for (OctIndex nb : m.adjacency(OctIndex(e)))
+        if (part.rank_of(nb) != r) gset.insert(nb);
+    ASSERT_EQ(ghosts[r].size(), gset.size() * mesh::kOctPts);
+    std::size_t off = 0;
+    for (OctIndex g : gset) {
+      Real u[mesh::kOctPts];
+      m.load_octant(field.data(), g, u);
+      for (int i = 0; i < mesh::kOctPts; ++i)
+        EXPECT_EQ(ghosts[r][off + i], u[i]);
+      off += mesh::kOctPts;
+    }
+  }
+}
+
+TEST(Scaling, PerfectOnOneRank) {
+  Mesh m = make_mesh();
+  const auto part = partition_mesh(m, 1);
+  const auto pt = scaling_point(m, part, 1e-4, perf::nvlink());
+  EXPECT_NEAR(pt.efficiency, 1.0, 1e-12);
+  EXPECT_EQ(pt.t_comm, 0.0);
+}
+
+TEST(Scaling, EfficiencyDecaysWithRanks) {
+  Mesh m = make_adaptive();
+  double prev_eff = 1.1;
+  for (int ranks : {2, 4, 8, 16}) {
+    const auto part = partition_mesh(m, ranks);
+    const auto pt = scaling_point(m, part, 1e-5, perf::nvlink());
+    EXPECT_LE(pt.efficiency, 1.01);
+    EXPECT_GT(pt.efficiency, 0.05);
+    EXPECT_LT(pt.efficiency, prev_eff + 0.05) << ranks;
+    prev_eff = pt.efficiency;
+  }
+}
+
+TEST(Scaling, FasterNetworkHigherEfficiency) {
+  Mesh m = make_adaptive();
+  const auto part = partition_mesh(m, 8);
+  const auto fast = scaling_point(m, part, 1e-5, perf::nvlink());
+  const auto slow = scaling_point(m, part, 1e-5, perf::infiniband());
+  EXPECT_GE(fast.efficiency, slow.efficiency);
+}
+
+}  // namespace
+}  // namespace dgr::comm

@@ -1,0 +1,249 @@
+/// \file test_gw.cpp
+/// \brief Gravitational-wave extraction tests: sphere quadrature exactness,
+/// spin-weighted spherical harmonics (closed forms + orthonormality), mode
+/// decomposition, and Psi4 identities (flat space, Schwarzschild type-D).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "bssn/initial_data.hpp"
+#include "gw/extract.hpp"
+#include "gw/psi4.hpp"
+#include "gw/quadrature.hpp"
+#include "gw/swsh.hpp"
+
+namespace dgr::gw {
+namespace {
+
+constexpr Real kPi = 3.14159265358979323846;
+
+using bssn::BssnState;
+using mesh::Mesh;
+using oct::Domain;
+using oct::Octree;
+
+TEST(GaussLegendre, NodesAndWeights) {
+  std::vector<Real> x, w;
+  gauss_legendre(5, x, w);
+  Real sum = 0;
+  for (Real wi : w) sum += wi;
+  EXPECT_NEAR(sum, 2.0, 1e-13);
+  // Integrates x^8 on [-1,1] exactly (degree 9 rule): 2/9.
+  Real s8 = 0;
+  for (int i = 0; i < 5; ++i) s8 += w[i] * std::pow(x[i], 8);
+  EXPECT_NEAR(s8, 2.0 / 9.0, 1e-12);
+  // Symmetric nodes.
+  EXPECT_NEAR(x[0] + x[4], 0.0, 1e-13);
+  EXPECT_NEAR(x[2], 0.0, 1e-13);
+}
+
+class QuadratureExactness
+    : public ::testing::TestWithParam<std::pair<const char*, SphereQuadrature (*)()>> {};
+
+SphereQuadrature make_gauss8() { return gauss_product(8); }
+
+TEST_P(QuadratureExactness, LowDegreeMoments) {
+  const SphereQuadrature q = GetParam().second();
+  std::vector<Real> ones(q.size(), 1.0), x2(q.size()), x2y2(q.size()),
+      xy(q.size());
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    const auto& n = q.points[i];
+    x2[i] = n[0] * n[0];
+    x2y2[i] = n[0] * n[0] * n[1] * n[1];
+    xy[i] = n[0] * n[1];
+  }
+  EXPECT_NEAR(q.integrate(ones), 4 * kPi, 1e-10);
+  EXPECT_NEAR(q.integrate(x2), 4 * kPi / 3, 1e-10);
+  EXPECT_NEAR(q.integrate(xy), 0.0, 1e-10);
+  EXPECT_NEAR(q.integrate(x2y2), 4 * kPi / 15, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, QuadratureExactness,
+    ::testing::Values(std::make_pair("lebedev26", &lebedev_26),
+                      std::make_pair("gauss8", &make_gauss8)),
+    [](const auto& info) { return info.param.first; });
+
+TEST(Quadrature, Lebedev6IntegratesDegree3) {
+  const SphereQuadrature q = lebedev_6();
+  EXPECT_EQ(q.size(), 6u);
+  std::vector<Real> x2(q.size()), x3(q.size());
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    x2[i] = q.points[i][0] * q.points[i][0];
+    x3[i] = std::pow(q.points[i][0], 3);
+  }
+  EXPECT_NEAR(q.integrate(x2), 4 * kPi / 3, 1e-12);
+  EXPECT_NEAR(q.integrate(x3), 0.0, 1e-12);
+}
+
+TEST(Quadrature, Lebedev26PointsOnSphere) {
+  const SphereQuadrature q = lebedev_26();
+  EXPECT_EQ(q.size(), 26u);
+  Real wsum = 0;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    const auto& n = q.points[i];
+    EXPECT_NEAR(n[0] * n[0] + n[1] * n[1] + n[2] * n[2], 1.0, 1e-13);
+    wsum += q.weights[i];
+  }
+  EXPECT_NEAR(wsum, 4 * kPi, 1e-12);
+}
+
+TEST(Wigner, IdentityAtZeroAngle) {
+  for (int l = 0; l <= 4; ++l)
+    for (int m = -l; m <= l; ++m)
+      for (int mp = -l; mp <= l; ++mp)
+        EXPECT_NEAR(wigner_d(l, m, mp, 0.0), m == mp ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(Wigner, ClosedFormD222) {
+  for (Real th : {0.3, 1.1, 2.0, 2.9}) {
+    const Real expect = std::pow((1 + std::cos(th)) / 2, 2);
+    EXPECT_NEAR(wigner_d(2, 2, 2, th), expect, 1e-12);
+  }
+}
+
+TEST(Swsh, SpinZeroReducesToY00AndY11) {
+  for (Real th : {0.4, 1.3}) {
+    for (Real ph : {0.0, 2.1}) {
+      EXPECT_NEAR(swsh(0, 0, 0, th, ph).real(), std::sqrt(1.0 / (4 * kPi)),
+                  1e-12);
+      // Y11 = -sqrt(3/8pi) sin(theta) e^{i phi}.
+      const Complex y11 = swsh(0, 1, 1, th, ph);
+      const Complex expect =
+          -std::sqrt(3.0 / (8 * kPi)) * std::sin(th) *
+          Complex{std::cos(ph), std::sin(ph)};
+      EXPECT_NEAR(y11.real(), expect.real(), 1e-12);
+      EXPECT_NEAR(y11.imag(), expect.imag(), 1e-12);
+    }
+  }
+}
+
+TEST(Swsh, ClosedFormSm2Y22) {
+  // -2Y22 = sqrt(5/(64 pi)) (1 + cos th)^2 e^{2 i phi}.
+  for (Real th : {0.2, 1.0, 2.4}) {
+    for (Real ph : {0.5, 3.0}) {
+      const Complex v = swsh_m2(2, 2, th, ph);
+      const Real amp = std::sqrt(5.0 / (64 * kPi)) * std::pow(1 + std::cos(th), 2);
+      EXPECT_NEAR(v.real(), amp * std::cos(2 * ph), 1e-12);
+      EXPECT_NEAR(v.imag(), amp * std::sin(2 * ph), 1e-12);
+    }
+  }
+}
+
+TEST(Swsh, OrthonormalityUnderQuadrature) {
+  const SphereQuadrature q = gauss_product(12);
+  struct LM {
+    int l, m;
+  };
+  const LM modes[] = {{2, 2}, {2, 0}, {2, -1}, {3, 2}, {3, -3}, {4, 0}};
+  for (const auto& a : modes)
+    for (const auto& b : modes) {
+      Complex s{0, 0};
+      for (std::size_t i = 0; i < q.size(); ++i) {
+        const auto& n = q.points[i];
+        const Real th = std::acos(std::clamp(n[2], Real(-1), Real(1)));
+        const Real ph = std::atan2(n[1], n[0]);
+        s += q.weights[i] * swsh_m2(a.l, a.m, th, ph) *
+             std::conj(swsh_m2(b.l, b.m, th, ph));
+      }
+      const Real expect = (a.l == b.l && a.m == b.m) ? 1.0 : 0.0;
+      EXPECT_NEAR(s.real(), expect, 1e-10)
+          << a.l << a.m << " vs " << b.l << b.m;
+      EXPECT_NEAR(s.imag(), 0.0, 1e-10);
+    }
+}
+
+TEST(Extractor, DecomposeRecoversInjectedModes) {
+  WaveExtractor ex({1.0}, /*lmax=*/4, /*quad_order=*/12);
+  const auto& q = ex.quadrature();
+  // f = 3*(-2Y22) + (0.5 - 2i)*(-2Y3-1).
+  std::vector<Complex> samples(q.size());
+  const Complex c22{3.0, 0.0}, c3m1{0.5, -2.0};
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    const auto& n = q.points[i];
+    const Real th = std::acos(std::clamp(n[2], Real(-1), Real(1)));
+    const Real ph = std::atan2(n[1], n[0]);
+    samples[i] = c22 * swsh_m2(2, 2, th, ph) + c3m1 * swsh_m2(3, -1, th, ph);
+  }
+  const SphereModes modes = ex.decompose(samples);
+  EXPECT_NEAR(std::abs(modes.mode(2, 2) - c22), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(modes.mode(3, -1) - c3m1), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(modes.mode(2, 0)), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(modes.mode(4, 2)), 0.0, 1e-9);
+}
+
+TEST(Extractor, ModeIndexPacking) {
+  EXPECT_EQ(SphereModes::mode_index(2, -2), 0);
+  EXPECT_EQ(SphereModes::mode_index(2, 2), 4);
+  EXPECT_EQ(SphereModes::mode_index(3, -3), 5);
+  EXPECT_EQ(SphereModes::mode_index(4, 0), 12 + 4);
+}
+
+TEST(Psi4, FlatSpaceIsZero) {
+  Domain dom{4.0};
+  auto m = std::make_shared<Mesh>(Octree::uniform(1), dom);
+  BssnState s;
+  bssn::set_minkowski(*m, s);
+  std::vector<Real> re(m->num_dofs(), 1.0), im(m->num_dofs(), 1.0);
+  compute_psi4_field(*m, s, bssn::BssnParams{}, re.data(), im.data());
+  for (std::size_t d = 0; d < m->num_dofs(); ++d) {
+    EXPECT_NEAR(re[d], 0.0, 1e-11);
+    EXPECT_NEAR(im[d], 0.0, 1e-11);
+  }
+}
+
+TEST(Psi4, SchwarzschildIsTypeD) {
+  // For a single static puncture the radial tetrad is principal-null:
+  // Psi4 must vanish up to truncation error and the small tetrad
+  // misalignment from the puncture offset, while the Coulomb scale M/r^3 is
+  // finite. We check |Psi4| << M/r^3 on an extraction sphere.
+  Domain dom{8.0};
+  auto m = std::make_shared<Mesh>(Octree::uniform(3), dom);
+  BssnState s;
+  bssn::set_punctures(*m, {{1.0, {0.02, 0.013, 0.009}, {0, 0, 0}, {0, 0, 0}}},
+                      s);
+  WaveExtractor ex({4.0}, 2, 8);
+  const auto modes = ex.extract_from_state(*m, s, bssn::BssnParams{});
+  ASSERT_EQ(modes.size(), 1u);
+  const Real coulomb = 1.0 / std::pow(4.0, 3);  // M/r^3 at r = 4
+  for (int mm = -2; mm <= 2; ++mm)
+    EXPECT_LT(std::abs(modes[0].mode(2, mm)), 0.1 * coulomb)
+        << "mode m=" << mm;
+}
+
+TEST(Psi4, BinaryPunctureProducesQuadrupole) {
+  // Two separated punctures are not type D w.r.t. the radial tetrad: the
+  // (2,2) + (2,-2) quadrupole content must dominate odd-m modes.
+  Domain dom{8.0};
+  auto m = std::make_shared<Mesh>(Octree::uniform(3), dom);
+  BssnState s;
+  bssn::set_punctures(
+      *m, {{0.5, {1.0, 0.01, 0.013}, {0, 0, 0}, {0, 0, 0}},
+           {0.5, {-1.0, 0.01, 0.013}, {0, 0, 0}, {0, 0, 0}}},
+      s);
+  WaveExtractor ex({4.0}, 2, 8);
+  const auto modes = ex.extract_from_state(*m, s, bssn::BssnParams{});
+  const Real quad = std::abs(modes[0].mode(2, 2)) +
+                    std::abs(modes[0].mode(2, -2)) +
+                    std::abs(modes[0].mode(2, 0));
+  const Real odd = std::abs(modes[0].mode(2, 1)) +
+                   std::abs(modes[0].mode(2, -1));
+  EXPECT_GT(quad, 1e-6);
+  EXPECT_LT(odd, 0.2 * quad);
+}
+
+TEST(ModeTimeSeriesRecord, AppendsSamples) {
+  ModeTimeSeries ts;
+  ts.l = 2;
+  ts.m = 2;
+  ts.radius = 50;
+  ts.append(0.0, {1.0, 0.5});
+  ts.append(0.25, {0.9, 0.6});
+  ASSERT_EQ(ts.times.size(), 2u);
+  EXPECT_EQ(ts.values[1], (Complex{0.9, 0.6}));
+}
+
+}  // namespace
+}  // namespace dgr::gw

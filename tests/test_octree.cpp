@@ -1,0 +1,350 @@
+/// \file test_octree.cpp
+/// \brief Unit and property tests for the linear octree substrate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "octree/octree.hpp"
+#include "octree/refinement.hpp"
+
+namespace dgr::oct {
+namespace {
+
+TEST(TreeNode, RootProperties) {
+  TreeNode root;
+  EXPECT_EQ(root.level, 0);
+  EXPECT_EQ(root.edge(), kDomainSize);
+  EXPECT_TRUE(root.contains_point(0, 0, 0));
+  EXPECT_TRUE(root.contains_point(kDomainSize - 1, 5, 7));
+}
+
+TEST(TreeNode, ChildParentRoundTrip) {
+  TreeNode root;
+  for (int c = 0; c < 8; ++c) {
+    TreeNode ch = root.child(c);
+    EXPECT_EQ(ch.level, 1);
+    EXPECT_EQ(ch.child_id(), c);
+    EXPECT_EQ(ch.parent(), root);
+    EXPECT_TRUE(root.is_ancestor_of(ch));
+    EXPECT_FALSE(ch.is_ancestor_of(root));
+  }
+}
+
+TEST(TreeNode, DeepChildChainAnchors) {
+  TreeNode t;
+  for (int l = 0; l < 10; ++l) t = t.child(7);  // +x+y+z corner chain
+  EXPECT_EQ(t.level, 10);
+  // Anchor accumulates halved edges: domain*(1/2 + 1/4 + ... + 1/1024).
+  const Coord expect = kDomainSize - (kDomainSize >> 10);
+  EXPECT_EQ(t.x, expect);
+  EXPECT_EQ(t.y, expect);
+  EXPECT_EQ(t.z, expect);
+}
+
+TEST(TreeNode, MisalignedAnchorThrows) {
+  EXPECT_THROW(TreeNode(3, 0, 0, 1), Error);  // level-1 anchor must be 0 or half
+}
+
+TEST(TreeNode, NeighborInsideAndOutsideDomain) {
+  TreeNode t = TreeNode{}.child(0);  // lower corner child
+  TreeNode n;
+  EXPECT_FALSE(t.neighbor(-1, 0, 0, n));
+  ASSERT_TRUE(t.neighbor(1, 0, 0, n));
+  EXPECT_EQ(n, TreeNode{}.child(1));
+  ASSERT_TRUE(t.neighbor(1, 1, 1, n));
+  EXPECT_EQ(n, TreeNode{}.child(7));
+}
+
+TEST(TreeNode, SfcOrderAncestorFirst) {
+  TreeNode root;
+  TreeNode c0 = root.child(0);
+  EXPECT_TRUE(SfcLess{}(root, c0));
+  EXPECT_FALSE(SfcLess{}(c0, root));
+  // Siblings ordered by child id along the Morton curve.
+  for (int c = 0; c + 1 < 8; ++c)
+    EXPECT_TRUE(SfcLess{}(root.child(c), root.child(c + 1)));
+}
+
+TEST(TreeNode, MortonDistinctAcrossSiblingSubtrees) {
+  // All level-2 octants must have distinct Morton keys.
+  Octree t = Octree::uniform(2);
+  std::set<std::uint64_t> keys;
+  for (const auto& leaf : t.leaves()) keys.insert(leaf.morton());
+  EXPECT_EQ(keys.size(), t.size());
+}
+
+TEST(Octree, UniformTreeSizes) {
+  EXPECT_EQ(Octree::uniform(0).size(), 1u);
+  EXPECT_EQ(Octree::uniform(1).size(), 8u);
+  EXPECT_EQ(Octree::uniform(2).size(), 64u);
+  EXPECT_EQ(Octree::uniform(3).size(), 512u);
+}
+
+TEST(Octree, ValidateRejectsIncomplete) {
+  std::vector<TreeNode> leaves;
+  for (int c = 0; c < 7; ++c) leaves.push_back(TreeNode{}.child(c));
+  EXPECT_THROW(Octree{leaves}, Error);
+}
+
+TEST(Octree, ValidateRejectsOverlap) {
+  std::vector<TreeNode> leaves;
+  for (int c = 0; c < 8; ++c) leaves.push_back(TreeNode{}.child(c));
+  leaves.push_back(TreeNode{}.child(0).child(0));  // overlaps child 0
+  EXPECT_THROW(Octree{leaves}, Error);
+}
+
+TEST(Octree, FindLeafOnUniformTree) {
+  Octree t = Octree::uniform(2);
+  const Coord q = kDomainSize / 4;
+  for (Coord ix = 0; ix < 4; ++ix)
+    for (Coord iy = 0; iy < 4; ++iy)
+      for (Coord iz = 0; iz < 4; ++iz) {
+        OctIndex n = t.find_leaf(ix * q + 1, iy * q + 1, iz * q + 1);
+        const TreeNode& leaf = t.leaf(n);
+        EXPECT_EQ(leaf.x, ix * q);
+        EXPECT_EQ(leaf.y, iy * q);
+        EXPECT_EQ(leaf.z, iz * q);
+      }
+}
+
+Octree make_corner_refined(int depth) {
+  // Refine the chain of octants containing the point just below the domain
+  // center. The deep leaves end up adjacent to the center corner, touching
+  // the seven coarse level-1 octants across it, so for depth >= 3 this tree
+  // violates the 2:1 constraint. (A cascade toward the *origin* corner would
+  // be naturally balanced: each level ring only touches adjacent rings.)
+  const Coord c = kDomainSize / 2 - 1;
+  return Octree::build(
+      [&](const TreeNode& t) {
+        return t.contains_point(c, c, c) ? Refine::kSplit : Refine::kKeep;
+      },
+      depth);
+}
+
+TEST(Octree, CornerRefinedTreeStructure) {
+  Octree t = make_corner_refined(5);
+  // Each split adds 7 leaves on top of the root.
+  EXPECT_EQ(t.size(), 1u + 7u * 5u);
+  EXPECT_EQ(t.max_level(), 5);
+  EXPECT_EQ(t.min_level(), 1);
+  t.validate();
+}
+
+TEST(Octree, CornerRefinedIsUnbalancedThenBalances) {
+  Octree t = make_corner_refined(5);
+  EXPECT_FALSE(t.is_balanced());
+  Octree b = t.balanced();
+  b.validate();
+  EXPECT_TRUE(b.is_balanced());
+  // Balancing only refines: every original leaf is covered by leaves at the
+  // same or deeper level.
+  for (const auto& leaf : b.leaves()) {
+    OctIndex orig = t.find_leaf(leaf.x, leaf.y, leaf.z);
+    EXPECT_GE(int(leaf.level), int(t.leaf(orig).level));
+  }
+}
+
+TEST(Octree, BalancedIsIdempotent) {
+  Octree b = make_corner_refined(6).balanced();
+  Octree b2 = b.balanced();
+  EXPECT_EQ(b, b2);
+}
+
+TEST(Octree, NeighborsOnUniformTree) {
+  Octree t = Octree::uniform(2);
+  // An interior octant has exactly one neighbor in every direction.
+  const Coord q = kDomainSize / 4;
+  OctIndex mid = t.find_leaf(q + 1, q + 1, q + 1);
+  int total = 0;
+  for (int dz = -1; dz <= 1; ++dz)
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (!dx && !dy && !dz) continue;
+        auto nb = t.neighbors(mid, dx, dy, dz);
+        ASSERT_EQ(nb.size(), 1u);
+        const TreeNode& n = t.leaf(nb[0]);
+        EXPECT_TRUE(n.touches(t.leaf(mid)));
+        total += 1;
+      }
+  EXPECT_EQ(total, 26);
+}
+
+TEST(Octree, NeighborsAcrossLevelTransition) {
+  // Root split once, then child 0 split again -> balanced by construction.
+  std::vector<TreeNode> leaves;
+  for (int c = 1; c < 8; ++c) leaves.push_back(TreeNode{}.child(c));
+  for (int c = 0; c < 8; ++c) leaves.push_back(TreeNode{}.child(0).child(c));
+  Octree t{leaves};
+  ASSERT_TRUE(t.is_balanced());
+
+  // child(1) looking in -x: 4 finer neighbors (children of child(0)).
+  OctIndex c1 = t.find(TreeNode{}.child(1));
+  ASSERT_NE(c1, kInvalidOct);
+  auto nb = t.neighbors(c1, -1, 0, 0);
+  EXPECT_EQ(nb.size(), 4u);
+  for (OctIndex n : nb) {
+    EXPECT_EQ(t.leaf(n).level, 2);
+    EXPECT_TRUE(t.leaf(n).touches(t.leaf(c1)));
+  }
+
+  // A grandchild looking in +x toward the coarser child(1): 1 coarser.
+  OctIndex gc = t.find(TreeNode{}.child(0).child(1));
+  ASSERT_NE(gc, kInvalidOct);
+  auto nb2 = t.neighbors(gc, 1, 0, 0);
+  ASSERT_EQ(nb2.size(), 1u);
+  EXPECT_EQ(t.leaf(nb2[0]), TreeNode{}.child(1));
+}
+
+TEST(Octree, NeighborsSymmetric) {
+  // Property: if B is a neighbor of A in direction d, then A is a neighbor
+  // of B in some direction. Checked on a balanced adaptive tree.
+  Octree t = make_corner_refined(4).balanced();
+  for (OctIndex i = 0; i < OctIndex(t.size()); ++i) {
+    for (int dz = -1; dz <= 1; ++dz)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (!dx && !dy && !dz) continue;
+          for (OctIndex j : t.neighbors(i, dx, dy, dz)) {
+            bool found = false;
+            for (int ez = -1; ez <= 1 && !found; ++ez)
+              for (int ey = -1; ey <= 1 && !found; ++ey)
+                for (int ex = -1; ex <= 1 && !found; ++ex) {
+                  if (!ex && !ey && !ez) continue;
+                  auto back = t.neighbors(j, ex, ey, ez);
+                  found = std::find(back.begin(), back.end(), i) != back.end();
+                }
+            EXPECT_TRUE(found) << "asymmetric neighbor pair " << i << "," << j;
+          }
+        }
+  }
+}
+
+TEST(Octree, RemeshRefineGrowsTree) {
+  Octree t = Octree::uniform(1);
+  std::vector<RemeshFlag> flags(t.size(), RemeshFlag::kKeep);
+  flags[0] = RemeshFlag::kRefine;
+  Octree r = t.remesh(flags);
+  r.validate();
+  EXPECT_EQ(r.size(), 8u + 7u);
+  EXPECT_TRUE(r.is_balanced());
+}
+
+TEST(Octree, RemeshCoarsenRequiresFullOctet) {
+  Octree t = Octree::uniform(2);
+  // Flag only 7 of the first octet: no coarsening may happen.
+  std::vector<RemeshFlag> flags(t.size(), RemeshFlag::kKeep);
+  for (int i = 0; i < 7; ++i) flags[i] = RemeshFlag::kCoarsen;
+  EXPECT_EQ(t.remesh(flags).size(), t.size());
+  // Flag a complete sibling octet (uniform level-2 tree: the first 8 leaves
+  // in SFC order are exactly the children of the first level-1 octant).
+  flags[7] = RemeshFlag::kCoarsen;
+  Octree r = t.remesh(flags);
+  r.validate();
+  EXPECT_EQ(r.size(), t.size() - 7);
+}
+
+TEST(Octree, RemeshCoarsenThenBalanceKeepsValidity) {
+  Octree t = make_corner_refined(4).balanced();
+  std::vector<RemeshFlag> flags(t.size(), RemeshFlag::kCoarsen);
+  Octree r = t.remesh(flags);
+  r.validate();
+  EXPECT_TRUE(r.is_balanced());
+  EXPECT_LT(r.size(), t.size());
+}
+
+TEST(Octree, PunctureOctreeRefinesAroundPunctures) {
+  Domain dom{32.0};
+  std::vector<Puncture> ps = {{{4.0, 0.0, 0.0}, 6}, {{-4.0, 0.0, 0.0}, 6}};
+  Octree t = build_puncture_octree(dom, ps, 2);
+  t.validate();
+  EXPECT_TRUE(t.is_balanced());
+  EXPECT_EQ(t.max_level(), 6);
+  // The leaf containing each puncture must be at the finest level.
+  for (const auto& p : ps) {
+    const Coord cx = static_cast<Coord>((p.pos[0] + dom.half_extent) /
+                                        (2 * dom.half_extent) * kDomainSize);
+    OctIndex n = t.find_leaf(cx, kDomainSize / 2, kDomainSize / 2);
+    EXPECT_EQ(int(t.leaf(n).level), 6);
+  }
+}
+
+TEST(Octree, AdaptivityFamilyMonotonicity) {
+  Domain dom{400.0};
+  std::size_t prev_size = 0;
+  int prev_spread = 100;
+  for (int m = 1; m <= 5; ++m) {
+    Octree g = build_adaptivity_grid(dom, m);
+    g.validate();
+    EXPECT_TRUE(g.is_balanced());
+    // Octant count grows and level spread (adaptivity) shrinks with m.
+    EXPECT_GT(g.size(), prev_size) << "family " << m;
+    const int spread = g.max_level() - g.min_level();
+    EXPECT_LE(spread, prev_spread) << "family " << m;
+    prev_size = g.size();
+    prev_spread = spread;
+  }
+}
+
+TEST(SfcPartition, EqualWeightsEvenSplit) {
+  std::vector<double> w(100, 1.0);
+  auto s = sfc_partition(w, 4);
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[0], 0u);
+  EXPECT_EQ(s[4], 100u);
+  for (int p = 0; p < 4; ++p) EXPECT_EQ(s[p + 1] - s[p], 25u);
+}
+
+TEST(SfcPartition, SkewedWeightsBalanced) {
+  // One heavy leaf at the front: first part should contain little else.
+  std::vector<double> w(50, 1.0);
+  w[0] = 49.0;
+  auto s = sfc_partition(w, 2);
+  const double total = 49 + 49;
+  double first = 0;
+  for (std::size_t i = s[0]; i < s[1]; ++i) first += w[i];
+  EXPECT_NEAR(first, total / 2, 49.0 / 2 + 1);
+}
+
+TEST(SfcPartition, MorePartsThanLeaves) {
+  std::vector<double> w(3, 1.0);
+  auto s = sfc_partition(w, 8);
+  ASSERT_EQ(s.size(), 9u);
+  for (std::size_t i = 1; i < s.size(); ++i) EXPECT_GE(s[i], s[i - 1]);
+  EXPECT_EQ(s.back(), 3u);
+}
+
+TEST(OctreeProperty, RandomTreesBalanceAndValidate) {
+  Rng rng(42);
+  for (int trial = 0; trial < 5; ++trial) {
+    // Random refinement with depth-decaying probability.
+    auto t = Octree::build(
+        [&](const TreeNode& n) {
+          const double p = 0.9 / (1 + n.level);
+          return rng.uniform() < p ? Refine::kSplit : Refine::kKeep;
+        },
+        6);
+    t.validate();
+    Octree b = t.balanced();
+    b.validate();
+    EXPECT_TRUE(b.is_balanced());
+    EXPECT_GE(b.size(), t.size());
+  }
+}
+
+TEST(OctreeProperty, FindLeafConsistentWithContainment) {
+  Rng rng(7);
+  Octree t = make_corner_refined(6).balanced();
+  for (int i = 0; i < 500; ++i) {
+    const Coord px = static_cast<Coord>(rng.uniform_int(kDomainSize));
+    const Coord py = static_cast<Coord>(rng.uniform_int(kDomainSize));
+    const Coord pz = static_cast<Coord>(rng.uniform_int(kDomainSize));
+    OctIndex n = t.find_leaf(px, py, pz);
+    EXPECT_TRUE(t.leaf(n).contains_point(px, py, pz));
+  }
+}
+
+}  // namespace
+}  // namespace dgr::oct

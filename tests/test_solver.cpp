@@ -1,0 +1,275 @@
+/// \file test_solver.cpp
+/// \brief Time integration and AMR-driver tests: RK4 order of accuracy,
+/// robust stability, state transfer across meshes, the wavelet regrid
+/// estimator, and a short puncture-evolution smoke test.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "bssn/initial_data.hpp"
+#include "common/rng.hpp"
+#include "solver/bssn_ctx.hpp"
+#include "solver/regrid.hpp"
+
+namespace dgr::solver {
+namespace {
+
+using bssn::BssnState;
+using mesh::Mesh;
+using oct::Domain;
+using oct::Octree;
+
+std::shared_ptr<Mesh> uniform_mesh(int level, Real half) {
+  return std::make_shared<Mesh>(Octree::uniform(level), Domain{half});
+}
+
+SolverConfig no_bc_config() {
+  SolverConfig cfg;
+  cfg.bssn.sommerfeld = false;
+  cfg.bssn.ko_sigma = 0.0;
+  return cfg;
+}
+
+TEST(Rk4, FourthOrderOnHomogeneousGaugeDynamics) {
+  // Spatially uniform K renders all stencils exact, isolating the time
+  // integrator: alpha' = -2 alpha K, K' = alpha K^2/3, chi' = 2/3 chi a K.
+  const Real K0 = 0.5, T = 0.4;
+  auto run = [&](int nsteps) {
+    auto m = uniform_mesh(0, 1.0);  // a single octant suffices
+    BssnCtx ctx(m, no_bc_config());
+    bssn::set_minkowski(*m, ctx.state());
+    for (std::size_t d = 0; d < m->num_dofs(); ++d)
+      ctx.state().field(bssn::kK)[d] = K0;
+    const Real dt = T / nsteps;
+    for (int i = 0; i < nsteps; ++i) ctx.rk4_step(dt);
+    return ctx.state();
+  };
+  BssnState ref = run(64);
+  const Real e1 = run(4).max_abs_diff(ref);
+  const Real e2 = run(8).max_abs_diff(ref);
+  const Real order = std::log2(e1 / e2);
+  EXPECT_GT(order, 3.7) << "e1=" << e1 << " e2=" << e2;
+  EXPECT_LT(order, 4.7);
+}
+
+TEST(Rk4, TimeAndStepCountersAdvance) {
+  auto m = uniform_mesh(1, 4.0);
+  BssnCtx ctx(m, SolverConfig{});
+  bssn::set_minkowski(*m, ctx.state());
+  EXPECT_EQ(ctx.steps_taken(), 0u);
+  const Real dt = ctx.suggested_dt();
+  EXPECT_NEAR(dt, 0.25 * m->finest_spacing(), 1e-14);
+  ctx.evolve_steps(3);
+  EXPECT_EQ(ctx.steps_taken(), 3u);
+  EXPECT_NEAR(ctx.time(), 3 * dt, 1e-12);
+}
+
+TEST(Rk4, FlatSpaceIsFixedPoint) {
+  auto m = uniform_mesh(1, 4.0);
+  SolverConfig cfg;  // Sommerfeld + KO on: flat space must stay flat
+  BssnCtx ctx(m, cfg);
+  bssn::set_minkowski(*m, ctx.state());
+  BssnState before = ctx.state();
+  ctx.evolve_steps(3);
+  EXPECT_LT(ctx.state().max_abs_diff(before), 1e-10);
+}
+
+TEST(Rk4, RobustStabilityRandomPerturbation) {
+  // Apples-like robust stability: O(1e-8) random noise on every variable
+  // must not blow up over a dozen steps (with KO dissipation active).
+  auto m = uniform_mesh(1, 4.0);
+  SolverConfig cfg;
+  cfg.bssn.ko_sigma = 0.1;
+  BssnCtx ctx(m, cfg);
+  bssn::set_minkowski(*m, ctx.state());
+  Rng rng(2024);
+  for (int v = 0; v < bssn::kNumVars; ++v)
+    for (std::size_t d = 0; d < m->num_dofs(); ++d)
+      ctx.state().field(v)[d] += 1e-8 * rng.uniform(-1, 1);
+  ctx.evolve_steps(12);
+  BssnState flat;
+  bssn::set_minkowski(*m, flat);
+  EXPECT_LT(ctx.state().max_abs_diff(flat), 1e-6);
+  EXPECT_FALSE(std::isnan(ctx.state().max_abs()));
+}
+
+TEST(Rk4, PhaseBreakdownAndCountersAccumulate) {
+  auto m = uniform_mesh(1, 4.0);
+  BssnCtx ctx(m, SolverConfig{});
+  bssn::set_minkowski(*m, ctx.state());
+  ctx.rk4_step();
+  EXPECT_GT(ctx.breakdown().rhs.total_seconds(), 0.0);
+  EXPECT_GT(ctx.breakdown().unzip.total_seconds(), 0.0);
+  EXPECT_GT(ctx.op_counts().flops, 0u);
+  EXPECT_GT(ctx.op_counts().bytes_read, 0u);
+  ctx.reset_instrumentation();
+  EXPECT_EQ(ctx.op_counts().flops, 0u);
+  EXPECT_EQ(ctx.breakdown().total(), 0.0);
+}
+
+TEST(Rk4, ChunkSizeDoesNotChangeResult) {
+  const auto bhs = bssn::make_binary(1.0, 2.0);
+  auto run = [&](int chunk) {
+    auto m = uniform_mesh(2, 8.0);
+    SolverConfig cfg;
+    cfg.chunk_octants = chunk;
+    BssnCtx ctx(m, cfg);
+    bssn::set_punctures(*m, bhs, ctx.state());
+    ctx.rk4_step();
+    return ctx.state();
+  };
+  BssnState a = run(3);
+  BssnState b = run(64);
+  EXPECT_EQ(a.max_abs_diff(b), 0.0) << "chunked pipeline must be exact";
+}
+
+TEST(Transfer, PolynomialFieldsTransferExactly) {
+  // Transfer between different refinements reproduces degree-6 data.
+  Domain dom{1.0};
+  Mesh src(Octree::uniform(2), dom);
+  Mesh dst(Octree::uniform(1), dom);  // coarsening direction
+  BssnState s(src.num_dofs());
+  auto poly = [](Real x, Real y, Real z) {
+    return 0.3 + x * x * y - std::pow(z, 3) + std::pow(x, 6);
+  };
+  for (int v = 0; v < bssn::kNumVars; ++v)
+    src.sample(poly, s.field(v));
+  BssnState t = transfer_state(src, s, dst);
+  for (std::size_t d = 0; d < dst.num_dofs(); ++d) {
+    const auto x = dst.dof_position(static_cast<DofIndex>(d));
+    EXPECT_NEAR(t.field(0)[d], poly(x[0], x[1], x[2]), 1e-9);
+  }
+}
+
+TEST(Transfer, RefinementDirectionInterpolates) {
+  Domain dom{1.0};
+  Mesh src(Octree::uniform(1), dom);
+  Mesh dst(Octree::uniform(2), dom);
+  BssnState s(src.num_dofs());
+  auto poly = [](Real x, Real y, Real z) { return x * y * z + 2 * x - y; };
+  for (int v = 0; v < bssn::kNumVars; ++v) src.sample(poly, s.field(v));
+  BssnState t = transfer_state(src, s, dst);
+  for (std::size_t d = 0; d < dst.num_dofs(); ++d) {
+    const auto x = dst.dof_position(static_cast<DofIndex>(d));
+    EXPECT_NEAR(t.field(5)[d], poly(x[0], x[1], x[2]), 1e-10);
+  }
+}
+
+TEST(Regrid, DetailVanishesOnCubicData) {
+  Real u[mesh::kOctPts];
+  for (int k = 0; k < mesh::kR; ++k)
+    for (int j = 0; j < mesh::kR; ++j)
+      for (int i = 0; i < mesh::kR; ++i)
+        u[mesh::oct_idx(i, j, k)] =
+            1.0 + i - 2.0 * j * j + 0.5 * i * j * k + k * k * k;
+  EXPECT_LT(octant_detail(u), 1e-10);
+}
+
+TEST(Regrid, DetailDetectsSharpFeature) {
+  Real u[mesh::kOctPts] = {};
+  u[mesh::oct_idx(3, 3, 3)] = 1.0;  // odd-index spike: pure detail
+  EXPECT_GT(octant_detail(u), 0.5);
+}
+
+TEST(Regrid, RefinesAroundPuncture) {
+  Domain dom{8.0};
+  auto m = std::make_shared<Mesh>(Octree::uniform(2), dom);
+  BssnState s;
+  bssn::set_punctures(*m, {{1.0, {0.07, 0.04, 0.03}, {0, 0, 0}, {0, 0, 0}}},
+                      s);
+  RegridConfig cfg;
+  cfg.eps = 1e-3;
+  cfg.max_level = 4;
+  cfg.min_level = 2;
+  auto errs = compute_octant_errors(*m, s, cfg);
+  // The octants containing the puncture must carry the largest error.
+  OctIndex center = m->tree().find_leaf(oct::kDomainSize / 2,
+                                        oct::kDomainSize / 2,
+                                        oct::kDomainSize / 2);
+  Real maxerr = 0;
+  for (Real e : errs) maxerr = std::max(maxerr, e);
+  EXPECT_NEAR(errs[center], maxerr, 1e-12);
+
+  auto next = regrid_mesh(*m, s, cfg);
+  ASSERT_NE(next, nullptr);
+  EXPECT_GT(next->tree().max_level(), 2);
+  EXPECT_TRUE(next->tree().is_balanced());
+  // The refined mesh resolves the puncture with finer spacing there.
+  OctIndex c2 = next->tree().find_leaf(oct::kDomainSize / 2,
+                                       oct::kDomainSize / 2,
+                                       oct::kDomainSize / 2);
+  EXPECT_GT(int(next->tree().leaf(c2).level), 2);
+}
+
+TEST(Regrid, NoChangeReturnsNull) {
+  Domain dom{8.0};
+  auto m = std::make_shared<Mesh>(Octree::uniform(2), dom);
+  BssnState s;
+  bssn::set_minkowski(*m, s);
+  RegridConfig cfg;
+  cfg.eps = 1e-3;
+  cfg.min_level = 2;  // flat data: no refine, coarsening capped at level 2
+  EXPECT_EQ(regrid_mesh(*m, s, cfg), nullptr);
+}
+
+TEST(Regrid, CoarsensSmoothRegions) {
+  Domain dom{8.0};
+  auto m = std::make_shared<Mesh>(Octree::uniform(3), dom);
+  BssnState s;
+  bssn::set_minkowski(*m, s);
+  RegridConfig cfg;
+  cfg.eps = 1e-3;
+  cfg.min_level = 2;
+  auto next = regrid_mesh(*m, s, cfg);
+  ASSERT_NE(next, nullptr);
+  EXPECT_LT(next->num_octants(), m->num_octants());
+  EXPECT_EQ(next->tree().max_level(), 2);
+}
+
+TEST(Evolution, SinglePunctureShortEvolutionStable) {
+  // A few steps of a real puncture evolution on an adaptive grid: chi must
+  // stay positive, no NaNs, constraints bounded.
+  Domain dom{16.0};
+  auto tree = oct::build_puncture_octree(
+      dom, {{{0.06, 0.04, 0.02}, 4}}, 2);
+  auto m = std::make_shared<Mesh>(tree, dom);
+  SolverConfig cfg;
+  cfg.bssn.ko_sigma = 0.3;
+  BssnCtx ctx(m, cfg);
+  bssn::set_punctures(*m, {{1.0, {0.06, 0.04, 0.02}, {0, 0, 0}, {0, 0, 0}}},
+                      ctx.state());
+  ctx.evolve_steps(4);
+  EXPECT_FALSE(std::isnan(ctx.state().max_abs()));
+  Real chi_min = 1e30, chi_max = -1e30;
+  for (std::size_t d = 0; d < m->num_dofs(); ++d) {
+    chi_min = std::min(chi_min, ctx.state().field(bssn::kChi)[d]);
+    chi_max = std::max(chi_max, ctx.state().field(bssn::kChi)[d]);
+  }
+  EXPECT_GT(chi_min, -0.01);  // chi may dip slightly near the puncture
+  EXPECT_LT(chi_max, 1.2);
+  EXPECT_LT(ctx.state().max_abs(), 50.0);
+}
+
+TEST(Evolution, RemeshPreservesSmoothState) {
+  Domain dom{8.0};
+  auto m = std::make_shared<Mesh>(Octree::uniform(2), dom);
+  BssnCtx ctx(m, no_bc_config());
+  bssn::set_minkowski(*m, ctx.state());
+  for (std::size_t d = 0; d < m->num_dofs(); ++d) {
+    const auto x = m->dof_position(static_cast<DofIndex>(d));
+    ctx.state().field(bssn::kChi)[d] = 1.0 + 0.001 * x[0] * x[1];
+  }
+  auto m2 = std::make_shared<Mesh>(Octree::uniform(1), dom);
+  ctx.remesh(m2);
+  EXPECT_EQ(ctx.state().num_dofs(), m2->num_dofs());
+  for (std::size_t d = 0; d < m2->num_dofs(); ++d) {
+    const auto x = m2->dof_position(static_cast<DofIndex>(d));
+    EXPECT_NEAR(ctx.state().field(bssn::kChi)[d], 1.0 + 0.001 * x[0] * x[1],
+                1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace dgr::solver
