@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_weak_scaling_frontera.dir/bench_fig20_weak_scaling_frontera.cpp.o"
+  "CMakeFiles/bench_fig20_weak_scaling_frontera.dir/bench_fig20_weak_scaling_frontera.cpp.o.d"
+  "bench_fig20_weak_scaling_frontera"
+  "bench_fig20_weak_scaling_frontera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_weak_scaling_frontera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig20_weak_scaling_frontera.
+# This may be replaced when dependencies are built.

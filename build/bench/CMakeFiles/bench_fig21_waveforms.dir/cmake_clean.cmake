@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_waveforms.dir/bench_fig21_waveforms.cpp.o"
+  "CMakeFiles/bench_fig21_waveforms.dir/bench_fig21_waveforms.cpp.o.d"
+  "bench_fig21_waveforms"
+  "bench_fig21_waveforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_codegen_spills.dir/bench_table2_codegen_spills.cpp.o"
+  "CMakeFiles/bench_table2_codegen_spills.dir/bench_table2_codegen_spills.cpp.o.d"
+  "bench_table2_codegen_spills"
+  "bench_table2_codegen_spills.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_codegen_spills.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

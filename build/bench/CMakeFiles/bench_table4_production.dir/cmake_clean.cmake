@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_production.dir/bench_table4_production.cpp.o"
+  "CMakeFiles/bench_table4_production.dir/bench_table4_production.cpp.o.d"
+  "bench_table4_production"
+  "bench_table4_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

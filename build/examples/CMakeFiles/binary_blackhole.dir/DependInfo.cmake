@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/binary_blackhole.cpp" "examples/CMakeFiles/binary_blackhole.dir/binary_blackhole.cpp.o" "gcc" "examples/CMakeFiles/binary_blackhole.dir/binary_blackhole.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/dgr_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/gw/CMakeFiles/dgr_gw.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/dgr_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/bssn/CMakeFiles/dgr_bssn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/dgr_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/dgr_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/dgr_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/octree/CMakeFiles/dgr_octree.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dgr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_blackhole.dir/binary_blackhole.cpp.o"
+  "CMakeFiles/binary_blackhole.dir/binary_blackhole.cpp.o.d"
+  "binary_blackhole"
+  "binary_blackhole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_blackhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_extraction.dir/gw_extraction.cpp.o"
+  "CMakeFiles/gw_extraction.dir/gw_extraction.cpp.o.d"
+  "gw_extraction"
+  "gw_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octree_playground.dir/octree_playground.cpp.o"
+  "CMakeFiles/octree_playground.dir/octree_playground.cpp.o.d"
+  "octree_playground"
+  "octree_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octree_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_bssn.dir/constraints.cpp.o"
+  "CMakeFiles/dgr_bssn.dir/constraints.cpp.o.d"
+  "CMakeFiles/dgr_bssn.dir/initial_data.cpp.o"
+  "CMakeFiles/dgr_bssn.dir/initial_data.cpp.o.d"
+  "CMakeFiles/dgr_bssn.dir/rhs.cpp.o"
+  "CMakeFiles/dgr_bssn.dir/rhs.cpp.o.d"
+  "CMakeFiles/dgr_bssn.dir/vars.cpp.o"
+  "CMakeFiles/dgr_bssn.dir/vars.cpp.o.d"
+  "libdgr_bssn.a"
+  "libdgr_bssn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_bssn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

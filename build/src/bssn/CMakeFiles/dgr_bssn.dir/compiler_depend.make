@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dgr_bssn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/bssn_graph.cpp" "src/codegen/CMakeFiles/dgr_codegen.dir/bssn_graph.cpp.o" "gcc" "src/codegen/CMakeFiles/dgr_codegen.dir/bssn_graph.cpp.o.d"
+  "/root/repo/src/codegen/expr.cpp" "src/codegen/CMakeFiles/dgr_codegen.dir/expr.cpp.o" "gcc" "src/codegen/CMakeFiles/dgr_codegen.dir/expr.cpp.o.d"
+  "/root/repo/src/codegen/interp_rhs.cpp" "src/codegen/CMakeFiles/dgr_codegen.dir/interp_rhs.cpp.o" "gcc" "src/codegen/CMakeFiles/dgr_codegen.dir/interp_rhs.cpp.o.d"
+  "/root/repo/src/codegen/machine.cpp" "src/codegen/CMakeFiles/dgr_codegen.dir/machine.cpp.o" "gcc" "src/codegen/CMakeFiles/dgr_codegen.dir/machine.cpp.o.d"
+  "/root/repo/src/codegen/scheduler.cpp" "src/codegen/CMakeFiles/dgr_codegen.dir/scheduler.cpp.o" "gcc" "src/codegen/CMakeFiles/dgr_codegen.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bssn/CMakeFiles/dgr_bssn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/dgr_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/dgr_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/octree/CMakeFiles/dgr_octree.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dgr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

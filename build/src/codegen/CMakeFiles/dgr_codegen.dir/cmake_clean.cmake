@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_codegen.dir/bssn_graph.cpp.o"
+  "CMakeFiles/dgr_codegen.dir/bssn_graph.cpp.o.d"
+  "CMakeFiles/dgr_codegen.dir/expr.cpp.o"
+  "CMakeFiles/dgr_codegen.dir/expr.cpp.o.d"
+  "CMakeFiles/dgr_codegen.dir/interp_rhs.cpp.o"
+  "CMakeFiles/dgr_codegen.dir/interp_rhs.cpp.o.d"
+  "CMakeFiles/dgr_codegen.dir/machine.cpp.o"
+  "CMakeFiles/dgr_codegen.dir/machine.cpp.o.d"
+  "CMakeFiles/dgr_codegen.dir/scheduler.cpp.o"
+  "CMakeFiles/dgr_codegen.dir/scheduler.cpp.o.d"
+  "libdgr_codegen.a"
+  "libdgr_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

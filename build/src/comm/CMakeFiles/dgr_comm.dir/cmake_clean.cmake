@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_comm.dir/partition.cpp.o"
+  "CMakeFiles/dgr_comm.dir/partition.cpp.o.d"
+  "libdgr_comm.a"
+  "libdgr_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

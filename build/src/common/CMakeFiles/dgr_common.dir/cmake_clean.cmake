@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_common.dir/counters.cpp.o"
+  "CMakeFiles/dgr_common.dir/counters.cpp.o.d"
+  "CMakeFiles/dgr_common.dir/log.cpp.o"
+  "CMakeFiles/dgr_common.dir/log.cpp.o.d"
+  "libdgr_common.a"
+  "libdgr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

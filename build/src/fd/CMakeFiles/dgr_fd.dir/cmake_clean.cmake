@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_fd.dir/stencils.cpp.o"
+  "CMakeFiles/dgr_fd.dir/stencils.cpp.o.d"
+  "libdgr_fd.a"
+  "libdgr_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_gw.dir/extract.cpp.o"
+  "CMakeFiles/dgr_gw.dir/extract.cpp.o.d"
+  "CMakeFiles/dgr_gw.dir/psi4.cpp.o"
+  "CMakeFiles/dgr_gw.dir/psi4.cpp.o.d"
+  "CMakeFiles/dgr_gw.dir/quadrature.cpp.o"
+  "CMakeFiles/dgr_gw.dir/quadrature.cpp.o.d"
+  "CMakeFiles/dgr_gw.dir/strain.cpp.o"
+  "CMakeFiles/dgr_gw.dir/strain.cpp.o.d"
+  "CMakeFiles/dgr_gw.dir/swsh.cpp.o"
+  "CMakeFiles/dgr_gw.dir/swsh.cpp.o.d"
+  "libdgr_gw.a"
+  "libdgr_gw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_gw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

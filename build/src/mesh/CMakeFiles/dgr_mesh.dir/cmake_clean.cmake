@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_mesh.dir/interp.cpp.o"
+  "CMakeFiles/dgr_mesh.dir/interp.cpp.o.d"
+  "CMakeFiles/dgr_mesh.dir/mesh.cpp.o"
+  "CMakeFiles/dgr_mesh.dir/mesh.cpp.o.d"
+  "CMakeFiles/dgr_mesh.dir/sampling.cpp.o"
+  "CMakeFiles/dgr_mesh.dir/sampling.cpp.o.d"
+  "libdgr_mesh.a"
+  "libdgr_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_octree.dir/octree.cpp.o"
+  "CMakeFiles/dgr_octree.dir/octree.cpp.o.d"
+  "CMakeFiles/dgr_octree.dir/refinement.cpp.o"
+  "CMakeFiles/dgr_octree.dir/refinement.cpp.o.d"
+  "libdgr_octree.a"
+  "libdgr_octree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_octree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_perf.dir/machine_model.cpp.o"
+  "CMakeFiles/dgr_perf.dir/machine_model.cpp.o.d"
+  "CMakeFiles/dgr_perf.dir/production.cpp.o"
+  "CMakeFiles/dgr_perf.dir/production.cpp.o.d"
+  "CMakeFiles/dgr_perf.dir/requirements.cpp.o"
+  "CMakeFiles/dgr_perf.dir/requirements.cpp.o.d"
+  "libdgr_perf.a"
+  "libdgr_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_simgpu.dir/gpu_bssn.cpp.o"
+  "CMakeFiles/dgr_simgpu.dir/gpu_bssn.cpp.o.d"
+  "libdgr_simgpu.a"
+  "libdgr_simgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_simgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

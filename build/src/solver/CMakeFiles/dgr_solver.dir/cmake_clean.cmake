@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_solver.dir/bssn_ctx.cpp.o"
+  "CMakeFiles/dgr_solver.dir/bssn_ctx.cpp.o.d"
+  "CMakeFiles/dgr_solver.dir/evolution.cpp.o"
+  "CMakeFiles/dgr_solver.dir/evolution.cpp.o.d"
+  "CMakeFiles/dgr_solver.dir/io.cpp.o"
+  "CMakeFiles/dgr_solver.dir/io.cpp.o.d"
+  "CMakeFiles/dgr_solver.dir/regrid.cpp.o"
+  "CMakeFiles/dgr_solver.dir/regrid.cpp.o.d"
+  "libdgr_solver.a"
+  "libdgr_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bssn.dir/test_bssn.cpp.o"
+  "CMakeFiles/test_bssn.dir/test_bssn.cpp.o.d"
+  "test_bssn"
+  "test_bssn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bssn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_evolution_io.cpp" "tests/CMakeFiles/test_evolution_io.dir/test_evolution_io.cpp.o" "gcc" "tests/CMakeFiles/test_evolution_io.dir/test_evolution_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/dgr_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/gw/CMakeFiles/dgr_gw.dir/DependInfo.cmake"
+  "/root/repo/build/src/bssn/CMakeFiles/dgr_bssn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/dgr_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/dgr_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/octree/CMakeFiles/dgr_octree.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dgr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evolution_io.dir/test_evolution_io.cpp.o"
+  "CMakeFiles/test_evolution_io.dir/test_evolution_io.cpp.o.d"
+  "test_evolution_io"
+  "test_evolution_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evolution_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_octree "/root/repo/build/tests/test_octree")
+set_tests_properties(test_octree PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;dgr_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mesh "/root/repo/build/tests/test_mesh")
+set_tests_properties(test_mesh PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;dgr_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fd "/root/repo/build/tests/test_fd")
+set_tests_properties(test_fd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;dgr_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_bssn "/root/repo/build/tests/test_bssn")
+set_tests_properties(test_bssn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;dgr_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_solver "/root/repo/build/tests/test_solver")
+set_tests_properties(test_solver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;dgr_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_gw "/root/repo/build/tests/test_gw")
+set_tests_properties(test_gw PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;dgr_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_codegen "/root/repo/build/tests/test_codegen")
+set_tests_properties(test_codegen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;dgr_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_perf "/root/repo/build/tests/test_perf")
+set_tests_properties(test_perf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;dgr_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_comm "/root/repo/build/tests/test_comm")
+set_tests_properties(test_comm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;dgr_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_simgpu "/root/repo/build/tests/test_simgpu")
+set_tests_properties(test_simgpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;dgr_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_evolution_io "/root/repo/build/tests/test_evolution_io")
+set_tests_properties(test_evolution_io PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;dgr_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;dgr_test;/root/repo/tests/CMakeLists.txt;0;")
