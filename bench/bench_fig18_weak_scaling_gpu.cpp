@@ -1,12 +1,16 @@
 /// \file bench_fig18_weak_scaling_gpu.cpp
 /// \brief Regenerates Fig. 18: weak scaling of 5 RK4 steps with a fixed
 /// number of unknowns per GPU up to 16 GPUs (paper: ~35M unknowns/GPU,
-/// average parallel efficiency 83%, largest problem 560M unknowns).
+/// average parallel efficiency 83%, largest problem 560M unknowns). Since
+/// the src/dist engine, each point executes the overlapped message
+/// schedule on its own grid and reads t_step5 off the max per-rank virtual
+/// clock; the analytic alpha-beta estimate remains as a cross-check.
 
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "comm/partition.hpp"
+#include "dist/engine.hpp"
 #include "perf/machine_model.hpp"
 #include "simgpu/gpu_bssn.hpp"
 
@@ -34,24 +38,41 @@ int main() {
               double(m->num_octants());
   }
 
+  const int kEvals = 20;  // 5 RK4 steps
   std::printf(
-      "  GPUs | octants | unknowns | oct/GPU | t_step5 (s) | efficiency "
-      "(paper avg 83%%)\n");
+      "  GPUs | octants | unknowns | oct/GPU | t_step5 (s) | comm hid. | "
+      "efficiency (paper avg 83%%) | analytic\n");
   double t_ref = -1;
   for (const auto& sr : series) {
     auto m = bench::bbh_mesh(1.0, 16.0, 2.0, sr.base, sr.finest);
+    bssn::BssnState s;
+    bench::init_bbh_state(*m, 1.0, 2.0, s);
+
+    dist::DistConfig dcfg;
+    dcfg.ranks = sr.ranks;
+    dcfg.execute = false;
+    dcfg.schedule_evals = kEvals;
+    dcfg.sec_per_octant = gpu_oct;
+    dcfg.net = perf::gpu_cluster(4);
+    const auto res =
+        dist::evolve_distributed(m, s, solver::SolverConfig{}, dcfg);
+    const double t5 = res.t_virtual;
+
     const auto part = comm::partition_mesh(*m, sr.ranks);
     const auto pt = comm::scaling_point(*m, part, gpu_oct, perf::nvlink());
-    const double t5 = 20 * pt.t_total;  // 5 RK4 steps = 20 RHS evaluations
+
     const double per_rank = double(m->num_octants()) / sr.ranks;
     if (t_ref < 0) t_ref = t5 / per_rank;  // reference time per octant/rank
     const double weak_eff = t_ref * per_rank / t5;
-    std::printf("  %-4d | %-7zu | %-7.1fM | %-7.0f | %-11.4f | %5.1f%%\n",
-                sr.ranks, m->num_octants(), m->num_dofs() * 24 / 1e6,
-                per_rank, t5, 100 * weak_eff);
+    std::printf(
+        "  %-4d | %-7zu | %-7.1fM | %-7.0f | %-11.4f | %-9.5f | %5.1f%%"
+        "                     | %.4f\n",
+        sr.ranks, m->num_octants(), m->num_dofs() * 24 / 1e6, per_rank, t5,
+        res.t_comm_hidden_max, 100 * weak_eff, kEvals * pt.t_total);
   }
-  bench::note("weak efficiency = T1(per-rank load) / T(p); deviations from");
-  bench::note("100% combine AMR-induced load imbalance with halo traffic,");
+  bench::note("t_step5 = max over per-rank virtual clocks of 20 executed");
+  bench::note("exchange schedules; deviations from 100% combine AMR load");
+  bench::note("imbalance with the exposed part of the halo traffic,");
   bench::note("matching the paper's ~83% average.");
   return 0;
 }

@@ -2,14 +2,20 @@
 /// \brief Regenerates Fig. 20: weak scaling of one RK4 step on Frontera
 /// with the per-phase cost breakdown (octant-to-patch, RHS, patch-to-octant
 /// / update, communication). Real per-phase op counts feed the Cascade
-/// Lake per-core model; real SFC partitions supply load balance and halo
-/// volumes up to the sizes a single core can build, and the same
-/// surface-to-volume model extrapolates to the paper's 229,376-core run.
+/// Lake per-core model. Since the src/dist engine, the communication
+/// column comes from an EXECUTED overlapped exchange schedule at the
+/// largest rank count the measurement grid supports (~500K unknowns per
+/// rank, as in the paper); because the per-rank halo saturates
+/// (surface-to-volume), that executed per-step comm time carries to the
+/// extrapolated core counts. The old closed-form alpha-beta estimate is
+/// kept as a cross-check.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "comm/partition.hpp"
+#include "dist/engine.hpp"
 #include "perf/machine_model.hpp"
 #include "simgpu/gpu_bssn.hpp"
 
@@ -38,42 +44,71 @@ int main() {
   const double c_unzip = phase_cost("octant-to-patch");
   const double c_rhs = phase_cost("bssn-rhs");
   const double c_zip = phase_cost("patch-to-octant") + phase_cost("axpy");
+  const double c_oct = c_unzip + c_rhs + c_zip;
 
   // ~500K unknowns per core ~ 60 octants/core (343 pts x 24 vars).
   const double oct_per_core = 500e3 / (mesh::kOctPts * 24.0);
+
+  // Execute the overlapped schedule of one RK4 step (4 evaluations) at the
+  // largest rank count the measurement grid supports at this per-rank
+  // load; 56 cores per Frontera node share the IB NIC, so the hierarchy is
+  // intra-node vs inter-node.
+  const int ranks0 = std::max(
+      2, std::min(64, int(double(m0->num_octants()) / oct_per_core)));
+  dist::DistConfig dcfg;
+  dcfg.ranks = ranks0;
+  dcfg.execute = false;
+  dcfg.schedule_evals = 4;
+  dcfg.sec_per_octant = c_oct;
+  dcfg.net = perf::HierarchicalNetworkModel{
+      perf::NetworkModel{"shm", 0.6e-6, 1.0 / 100.0e9}, perf::infiniband(),
+      56};
+  const auto sched = dist::evolve_distributed(m0, s, solver::SolverConfig{},
+                                              dcfg);
+  const double comm_step_exec =
+      sched.t_comm_exposed_max + sched.t_comm_hidden_max;
+  std::printf(
+      "  executed schedule at %d ranks (~%.0f octants/rank): %llu msgs, "
+      "comm/step %.4fs (%.0f%% hidden)\n",
+      ranks0, double(m0->num_octants()) / ranks0,
+      static_cast<unsigned long long>(sched.messages), comm_step_exec,
+      100 * sched.t_comm_hidden_max /
+          std::max(1e-300, comm_step_exec));
+
+  // Cross-check: closed-form alpha-beta on the same measured halo.
+  double ghost_per_rank = 0;
+  {
+    const auto part = comm::partition_mesh(*m0, ranks0);
+    double g = 0;
+    for (int r = 0; r < ranks0; ++r) g += double(part.ghost_octants[r]);
+    ghost_per_rank = g / ranks0;
+  }
+  const std::uint64_t halo_bytes =
+      std::uint64_t(ghost_per_rank) * mesh::kOctPts * 24 * sizeof(Real);
   const perf::NetworkModel net = perf::infiniband();
+  const double comm_step_analytic = 4 * net.time(halo_bytes, 8);
 
   std::printf(
-      "  cores   | unknowns | o2p (s)  | RHS (s)  | zip+update | comm (s) | "
-      "total/step\n");
+      "\n  cores   | unknowns | o2p (s)  | RHS (s)  | zip+update | comm (s) |"
+      " total/step | analytic comm\n");
   for (long cores : {56L, 448L, 3584L, 28672L, 114688L, 229376L}) {
     const double work_oct = oct_per_core;  // weak scaling: constant/core
-    // Halo: ghost layer of an SFC part of ~60 octants is ~O(surface);
-    // measured from a real partition at small scale, constant beyond.
-    static double ghost_per_rank = -1;
-    if (ghost_per_rank < 0) {
-      const int ranks =
-          std::max(2, int(m0->num_octants() / oct_per_core));
-      const auto part = comm::partition_mesh(*m0, ranks);
-      double g = 0;
-      for (int r = 0; r < ranks; ++r) g += double(part.ghost_octants[r]);
-      ghost_per_rank = g / ranks;
-    }
-    const std::uint64_t halo_bytes =
-        std::uint64_t(ghost_per_rank) * mesh::kOctPts * 24 * sizeof(Real);
-    // One RK4 step = 4 evaluations; comm once per evaluation.
+    // One RK4 step = 4 evaluations; the halo per rank saturates
+    // (surface-to-volume), so the executed comm/step carries over.
     const double t_unzip = 4 * work_oct * c_unzip;
     const double t_rhs = 4 * work_oct * c_rhs;
     const double t_zip = 4 * work_oct * c_zip;
-    const double t_comm = 4 * net.time(halo_bytes, 8);
+    const double t_comm = comm_step_exec;
     const double unknowns = double(cores) * 500e3;
     std::printf(
-        "  %-7ld | %-7.2gB | %-8.3f | %-8.3f | %-10.3f | %-8.4f | %-8.3f\n",
+        "  %-7ld | %-7.2gB | %-8.3f | %-8.3f | %-10.3f | %-8.4f | %-10.3f |"
+        " %-8.4f\n",
         cores, unknowns / 1e9, t_unzip, t_rhs, t_zip, t_comm,
-        t_unzip + t_rhs + t_zip + t_comm);
+        t_unzip + t_rhs + t_zip + t_comm, comm_step_analytic);
   }
-  bench::note("weak scaling keeps per-core work constant; the halo volume per");
-  bench::note("rank saturates (surface-to-volume), so the breakdown stays flat");
-  bench::note("out to 229,376 cores / 118B unknowns, as in the paper.");
+  bench::note("comm (s) is measured off the executed message schedule (max");
+  bench::note("over per-rank virtual clocks, hidden + exposed); the per-rank");
+  bench::note("halo saturates (surface-to-volume), so the breakdown stays");
+  bench::note("flat out to 229,376 cores / 118B unknowns, as in the paper.");
   return 0;
 }

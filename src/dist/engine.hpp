@@ -1,0 +1,76 @@
+#pragma once
+/// \file engine.hpp
+/// \brief The simulated multi-rank evolution driver. N ranks advance the
+/// BSSN state in lockstep over an overlapped step schedule — per RHS
+/// evaluation: post ghost recvs, pack and send boundary DOFs, compute the
+/// interior octants while the halo is in flight, wait, then compute the
+/// boundary octants — with per-rank virtual clocks making the overlap
+/// measurable (t_comm_hidden vs t_comm_exposed). In execute mode the ranks
+/// run the real numerics and the gathered result is bitwise-identical to
+/// the single-rank solver::evolve path, including regrids (the host
+/// synchronization point, realized as an allgather + replicated remesh).
+/// In schedule-only mode the message schedule runs with real payloads but
+/// compute is advanced on the virtual clock only — this is what the
+/// scaling benches (Figs. 17, 18, 20) execute.
+
+#include <memory>
+
+#include "dist/rank_ctx.hpp"
+#include "solver/evolution.hpp"
+
+namespace dgr::dist {
+
+struct DistConfig {
+  int ranks = 2;
+  /// Execute mode: evolve until t_end with a regrid every `regrid_every`
+  /// steps (mirrors solver::EvolutionConfig so the two paths agree).
+  Real t_end = 0;
+  int regrid_every = 16;
+  solver::RegridConfig regrid;
+  bool do_regrid = true;
+  /// Interconnect: NVLink-class within a node, IB-class across nodes.
+  perf::HierarchicalNetworkModel net = perf::gpu_cluster();
+  /// Virtual compute cost of one octant's unzip+RHS+zip per evaluation
+  /// (calibrated by the benches from the §III-D machine models).
+  double sec_per_octant = 1e-5;
+  /// false: schedule-only — run `schedule_evals` RHS-evaluation message
+  /// schedules with real payloads but no numerics (benches).
+  bool execute = true;
+  int schedule_evals = 0;
+};
+
+struct RankReport {
+  RankStats stats;
+  std::size_t owned = 0;          ///< owned octants
+  std::size_t ghost_octants = 0;  ///< octant-level halo size
+  std::size_t interior = 0;       ///< octants computable during the halo
+  std::size_t boundary = 0;       ///< octants gated on the halo
+  std::size_t recv_dofs = 0;      ///< ghost DOFs received per exchange
+};
+
+struct DistResult {
+  int steps = 0;
+  int regrids = 0;
+  int rhs_evals = 0;
+  /// Parallel time of the executed schedule: max over per-rank clocks.
+  double t_virtual = 0;
+  double t_compute_max = 0;
+  double t_comm_exposed_max = 0;
+  double t_comm_hidden_max = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  /// Execute mode: the gathered final state (global DOF indexing).
+  bssn::BssnState state;
+  std::vector<RankReport> ranks;
+};
+
+/// Run the N-rank engine on `mesh` starting from `initial`. Execute mode
+/// evolves to cfg.t_end exactly as solver::evolve would (same dt logic,
+/// same regrid cadence) and returns the gathered state; schedule-only mode
+/// runs cfg.schedule_evals overlapped exchanges.
+DistResult evolve_distributed(std::shared_ptr<const mesh::Mesh> mesh,
+                              const bssn::BssnState& initial,
+                              const solver::SolverConfig& scfg,
+                              const DistConfig& cfg);
+
+}  // namespace dgr::dist

@@ -1,0 +1,118 @@
+#include "dist/rank_ctx.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dgr::dist {
+
+using bssn::kNumVars;
+
+std::vector<solver::OctRange> runs_of(const std::vector<OctIndex>& octs) {
+  std::vector<solver::OctRange> runs;
+  for (OctIndex e : octs) {
+    if (!runs.empty() && runs.back().second == e)
+      runs.back().second = e + 1;
+    else
+      runs.push_back({e, e + 1});
+  }
+  return runs;
+}
+
+RankCtx::RankCtx(int rank, std::shared_ptr<const mesh::Mesh> mesh,
+                 const comm::RankPartition& part, comm::ExchangeMaps maps,
+                 const solver::SolverConfig& scfg, bool alloc_stages)
+    : rank_(rank),
+      mesh_(std::move(mesh)),
+      maps_(std::move(maps)),
+      owned_begin_(part.owned_begin(rank)),
+      owned_end_(part.owned_end(rank)),
+      pipeline_(mesh_, scfg) {
+  DGR_CHECK(maps_.rank == rank_);
+  interior_runs_ = runs_of(maps_.interior);
+  boundary_runs_ = runs_of(maps_.boundary);
+  for (DofIndex d = 0; d < static_cast<DofIndex>(mesh_->num_dofs()); ++d)
+    if (part.rank_of(mesh_->dof_owner(d)) == rank_) owned_dofs_.push_back(d);
+  u_.resize(mesh_->num_dofs());
+  if (alloc_stages) {
+    for (auto& k : k_) k.resize(mesh_->num_dofs());
+    stage_.resize(mesh_->num_dofs());
+  }
+  recv_buf_.resize(part.ranks);
+}
+
+double RankCtx::local_finest_spacing() const {
+  double h = std::numeric_limits<double>::infinity();
+  for (std::size_t e = owned_begin_; e < owned_end_; ++e)
+    h = std::min(h, mesh_->octant_spacing(static_cast<OctIndex>(e)));
+  return h;
+}
+
+void RankCtx::adopt_owned(const bssn::BssnState& global) {
+  DGR_CHECK(global.num_dofs() == mesh_->num_dofs());
+  u_.resize(mesh_->num_dofs());  // zero everything, then copy owned
+  for (int v = 0; v < kNumVars; ++v) {
+    Real* dst = u_.field(v);
+    const Real* src = global.field(v);
+    for (DofIndex d : owned_dofs_) dst[d] = src[d];
+  }
+}
+
+SimComm::Payload RankCtx::pack_owned() const {
+  SimComm::Payload out;
+  out.reserve(owned_dofs_.size() * kNumVars);
+  for (int v = 0; v < kNumVars; ++v) {
+    const Real* f = u_.field(v);
+    for (DofIndex d : owned_dofs_) out.push_back(f[d]);
+  }
+  return out;
+}
+
+void RankCtx::post_exchange(SimComm& comm, const bssn::BssnState& u,
+                            int tag) {
+  DGR_CHECK_MSG(pending_.empty(), "exchange already in flight");
+  // Post receives first (as a real code would), then pack and send.
+  for (int p : maps_.peers)
+    if (!maps_.recv_from[p].empty())
+      pending_.push_back(comm.irecv(rank_, p, tag, &recv_buf_[p]));
+  for (int p : maps_.peers) {
+    const auto& dofs = maps_.send_to[p];
+    if (dofs.empty()) continue;
+    SimComm::Payload payload;
+    payload.reserve(dofs.size() * kNumVars);
+    for (int v = 0; v < kNumVars; ++v) {
+      const Real* f = u.field(v);
+      for (DofIndex d : dofs) payload.push_back(f[d]);
+    }
+    pending_.push_back(comm.isend(rank_, p, tag, std::move(payload)));
+  }
+}
+
+void RankCtx::finish_exchange(SimComm& comm, bssn::BssnState& u) {
+  comm.wait_all(rank_, pending_);
+  pending_.clear();
+  for (int p : maps_.peers) {
+    const auto& dofs = maps_.recv_from[p];
+    if (dofs.empty()) continue;
+    SimComm::Payload& buf = recv_buf_[p];
+    DGR_CHECK(buf.size() == dofs.size() * kNumVars);
+    std::size_t off = 0;
+    for (int v = 0; v < kNumVars; ++v) {
+      Real* f = u.field(v);
+      for (DofIndex d : dofs) f[d] = buf[off++];
+    }
+    buf.clear();
+  }
+}
+
+void RankCtx::compute_rhs_interior(const bssn::BssnState& u,
+                                   bssn::BssnState& rhs) {
+  pipeline_.compute(u, rhs, interior_runs_, nullptr, nullptr);
+}
+
+void RankCtx::compute_rhs_boundary(const bssn::BssnState& u,
+                                   bssn::BssnState& rhs) {
+  pipeline_.compute(u, rhs, boundary_runs_, nullptr, nullptr);
+}
+
+}  // namespace dgr::dist

@@ -1,0 +1,83 @@
+#pragma once
+/// \file rank_ctx.hpp
+/// \brief Per-rank view of the mesh for the simulated distributed engine:
+/// the rank's contiguous SFC range from comm::RankPartition, its ghost
+/// octants and DOF-granularity send/recv maps (comm::ExchangeMaps), the
+/// interior/boundary octant split that enables overlap, and the rank-local
+/// zipped state. State vectors are globally indexed (full length) for
+/// simplicity — the rank only ever reads its owned + ghost entries and
+/// only ever writes its owned entries, which is what makes the N-rank
+/// result bitwise-identical to the single-rank pipeline.
+
+#include <memory>
+#include <vector>
+
+#include "bssn/state.hpp"
+#include "comm/partition.hpp"
+#include "dist/sim_comm.hpp"
+#include "solver/bssn_ctx.hpp"
+
+namespace dgr::dist {
+
+class RankCtx {
+ public:
+  /// `alloc_stages` allocates the RK scratch states (k1..k4 and the stage
+  /// vector); schedule-only runs skip them.
+  RankCtx(int rank, std::shared_ptr<const mesh::Mesh> mesh,
+          const comm::RankPartition& part, comm::ExchangeMaps maps,
+          const solver::SolverConfig& scfg, bool alloc_stages);
+
+  int rank() const { return rank_; }
+  const comm::ExchangeMaps& maps() const { return maps_; }
+  const std::vector<DofIndex>& owned_dofs() const { return owned_dofs_; }
+  std::size_t owned_octants() const { return owned_end_ - owned_begin_; }
+  std::size_t interior_octants() const { return maps_.interior.size(); }
+  std::size_t boundary_octants() const { return maps_.boundary.size(); }
+
+  bssn::BssnState& state() { return u_; }
+  bssn::BssnState& k(int s) { return k_[s]; }
+  bssn::BssnState& stage() { return stage_; }
+
+  /// Smallest octant spacing this rank owns (+inf when it owns nothing);
+  /// allreduce_min over ranks reproduces mesh.finest_spacing() exactly.
+  double local_finest_spacing() const;
+
+  /// Copy the rank's owned DOF values out of a global state (initial
+  /// scatter and post-regrid redistribution); all other entries are zero.
+  void adopt_owned(const bssn::BssnState& global);
+
+  /// Serialize the owned DOF values (var-major, DOFs ascending) — the
+  /// allgather payload for regrid and result collection.
+  SimComm::Payload pack_owned() const;
+
+  /// Post the ghost exchange for state `u`: one irecv per sending peer and
+  /// one packed isend per receiving peer. `tag` disambiguates RK stages.
+  void post_exchange(SimComm& comm, const bssn::BssnState& u, int tag);
+
+  /// Complete the posted exchange and unpack the peers' payloads into the
+  /// ghost DOF entries of `u`.
+  void finish_exchange(SimComm& comm, bssn::BssnState& u);
+
+  /// RHS over the interior octants only (safe while the halo is in
+  /// flight) / over the boundary octants only (requires finished halo).
+  void compute_rhs_interior(const bssn::BssnState& u, bssn::BssnState& rhs);
+  void compute_rhs_boundary(const bssn::BssnState& u, bssn::BssnState& rhs);
+
+ private:
+  int rank_;
+  std::shared_ptr<const mesh::Mesh> mesh_;
+  comm::ExchangeMaps maps_;
+  std::size_t owned_begin_ = 0, owned_end_ = 0;
+  std::vector<DofIndex> owned_dofs_;
+  std::vector<solver::OctRange> interior_runs_, boundary_runs_;
+  solver::RhsPipeline pipeline_;
+  bssn::BssnState u_, k_[4], stage_;
+  // In-flight exchange bookkeeping.
+  std::vector<SimComm::Request> pending_;
+  std::vector<SimComm::Payload> recv_buf_;  // per peer rank
+};
+
+/// Collapse a sorted octant list into maximal contiguous [begin, end) runs.
+std::vector<solver::OctRange> runs_of(const std::vector<OctIndex>& octs);
+
+}  // namespace dgr::dist

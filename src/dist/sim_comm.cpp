@@ -1,0 +1,160 @@
+#include "dist/sim_comm.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dgr::dist {
+
+SimComm::SimComm(int ranks, perf::HierarchicalNetworkModel net)
+    : net_(net), stats_(ranks), mailbox_(ranks) {
+  DGR_CHECK(ranks >= 1);
+}
+
+double SimComm::max_clock() const {
+  double m = 0;
+  for (const auto& s : stats_) m = std::max(m, s.clock);
+  return m;
+}
+
+std::uint64_t SimComm::total_bytes() const {
+  std::uint64_t b = 0;
+  for (const auto& m : log_) b += m.bytes;
+  return b;
+}
+
+void SimComm::advance(int r, double seconds) {
+  DGR_CHECK(seconds >= 0);
+  stats_[r].clock += seconds;
+  stats_[r].t_compute += seconds;
+}
+
+SimComm::Request SimComm::irecv(int r, int src, int tag, Payload* out) {
+  DGR_CHECK(out != nullptr && r != src);
+  Req q;
+  q.recv = true;
+  q.rank = r;
+  q.peer = src;
+  q.tag = tag;
+  q.t_post = stats_[r].clock;
+  q.out = out;
+  reqs_.push_back(q);
+  return Request{reqs_.size() - 1};
+}
+
+SimComm::Request SimComm::isend(int r, int dst, int tag, Payload payload) {
+  DGR_CHECK(r != dst);
+  const std::uint64_t bytes = payload.size() * sizeof(Real);
+  const perf::NetworkModel& link = net_.link(r, dst);
+  Req q;
+  q.rank = r;
+  q.peer = dst;
+  q.tag = tag;
+  q.t_post = stats_[r].clock;
+  q.done = true;  // nonblocking send completes locally at injection
+  reqs_.push_back(q);
+
+  // Injection serializes on the sender (alpha per message); the payload is
+  // deliverable once it has crossed the wire.
+  stats_[r].clock += link.alpha;
+  const double t_ready = stats_[r].clock + link.beta * double(bytes);
+  stats_[r].msgs_sent += 1;
+  stats_[r].bytes_sent += bytes;
+  log_.push_back({r, dst, tag, bytes, q.t_post, t_ready});
+  mailbox_[dst].push_back({r, tag, std::move(payload), t_ready});
+  return Request{reqs_.size() - 1};
+}
+
+void SimComm::wait_all(int r, std::vector<Request>& reqs) {
+  double t_post_min = -1, arrival = -1;
+  for (const Request& h : reqs) {
+    DGR_CHECK(h.idx < reqs_.size());
+    Req& q = reqs_[h.idx];
+    DGR_CHECK(q.rank == r);
+    if (q.done) continue;  // sends (or repeated waits)
+    DGR_CHECK(q.recv);
+    // Match the oldest unconsumed mailbox entry with (src, tag).
+    Pending* match = nullptr;
+    for (Pending& p : mailbox_[r])
+      if (!p.consumed && p.src == q.peer && p.tag == q.tag) {
+        match = &p;
+        break;
+      }
+    DGR_CHECK_MSG(match != nullptr, "wait_all: unmatched irecv");
+    *q.out = std::move(match->data);
+    match->consumed = true;
+    q.done = true;
+    t_post_min = t_post_min < 0 ? q.t_post : std::min(t_post_min, q.t_post);
+    arrival = std::max(arrival, match->t_ready);
+  }
+  mailbox_[r].erase(
+      std::remove_if(mailbox_[r].begin(), mailbox_[r].end(),
+                     [](const Pending& p) { return p.consumed; }),
+      mailbox_[r].end());
+  if (arrival < 0) return;  // nothing but sends
+
+  RankStats& s = stats_[r];
+  const double t_wait = s.clock;
+  const double exposed = std::max(0.0, arrival - t_wait);
+  // Portion of the comm window [t_post_min, arrival] covered by the compute
+  // this rank performed between posting the receives and waiting.
+  const double hidden =
+      std::max(0.0, std::min(t_wait, arrival) - t_post_min);
+  s.t_comm_exposed += exposed;
+  s.t_comm_hidden += hidden;
+  s.clock = std::max(s.clock, arrival);
+}
+
+double SimComm::reduce_clocks(std::uint64_t bytes) {
+  const double sync = max_clock();
+  const double cost = net_.allreduce_time(ranks(), bytes);
+  for (auto& s : stats_) {
+    s.t_collective += (sync + cost) - s.clock;
+    s.clock = sync + cost;
+  }
+  return cost;
+}
+
+double SimComm::allreduce_min(const std::vector<double>& contrib) {
+  DGR_CHECK(contrib.size() == stats_.size());
+  reduce_clocks(sizeof(double));
+  return *std::min_element(contrib.begin(), contrib.end());
+}
+
+double SimComm::allreduce_max(const std::vector<double>& contrib) {
+  DGR_CHECK(contrib.size() == stats_.size());
+  reduce_clocks(sizeof(double));
+  return *std::max_element(contrib.begin(), contrib.end());
+}
+
+double SimComm::allreduce_sum(const std::vector<double>& contrib) {
+  DGR_CHECK(contrib.size() == stats_.size());
+  reduce_clocks(sizeof(double));
+  double s = 0;
+  for (double v : contrib) s += v;
+  return s;
+}
+
+SimComm::Payload SimComm::allgather(const std::vector<Payload>& contrib) {
+  DGR_CHECK(contrib.size() == stats_.size());
+  const double sync = max_clock();
+  // Ring allgather: every rank receives each other rank's block once, so
+  // rank r pays sum over peers of one message of that peer's block over the
+  // peer->r link.
+  for (int r = 0; r < ranks(); ++r) {
+    double cost = 0;
+    for (int p = 0; p < ranks(); ++p) {
+      if (p == r) continue;
+      cost += net_.time(p, r, contrib[p].size() * sizeof(Real), 1);
+      stats_[p].msgs_sent += 1;  // each block forwarded once along the ring
+      stats_[p].bytes_sent += contrib[p].size() * sizeof(Real);
+    }
+    stats_[r].t_collective += (sync + cost) - stats_[r].clock;
+    stats_[r].clock = sync + cost;
+  }
+  Payload all;
+  for (const Payload& c : contrib) all.insert(all.end(), c.begin(), c.end());
+  return all;
+}
+
+}  // namespace dgr::dist

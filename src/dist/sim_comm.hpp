@@ -1,0 +1,118 @@
+#pragma once
+/// \file sim_comm.hpp
+/// \brief Simulated message router for the multi-rank execution engine, in
+/// the same spirit as simgpu::GpuRuntime: real payloads move between
+/// per-rank mailboxes under a nonblocking isend/irecv/wait_all API while a
+/// per-rank virtual clock advances through perf::HierarchicalNetworkModel.
+/// Every message is logged (src, dst, tag, bytes, injection and delivery
+/// times), which is what the scaling benches (Figs. 17, 18, 20) read their
+/// executed-schedule timings from.
+///
+/// Virtual-clock semantics. `advance(r, s)` models rank-local compute.
+/// `isend` charges the sender the link's per-message latency alpha
+/// (injection) and stamps the payload deliverable at
+///   t_ready = clock[src] + alpha + beta * bytes
+/// over the src->dst link. `wait_all` on the receiver completes a batch of
+/// requests: the clock jumps to max(clock, latest t_ready), and the comm
+/// window [t_post, latest t_ready] is split into a hidden part (covered by
+/// compute the rank performed between posting the receives and waiting)
+/// and an exposed part (time spent stalled in the wait). This makes
+/// overlap a measured quantity instead of an assumption.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "perf/network.hpp"
+
+namespace dgr::dist {
+
+/// One logged point-to-point message.
+struct MsgLog {
+  int src = 0, dst = 0, tag = 0;
+  std::uint64_t bytes = 0;
+  double t_send = 0;   ///< sender clock at injection
+  double t_ready = 0;  ///< virtual time the payload is deliverable at dst
+};
+
+/// Per-rank virtual-time accounting.
+struct RankStats {
+  double clock = 0;           ///< current virtual time
+  double t_compute = 0;       ///< time advanced via advance()
+  double t_comm_exposed = 0;  ///< wait time not covered by compute
+  double t_comm_hidden = 0;   ///< comm window overlapped with compute
+  double t_collective = 0;    ///< allreduce / allgather time
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class SimComm {
+ public:
+  using Payload = std::vector<Real>;
+
+  /// Handle returned by isend/irecv, completed by wait_all.
+  struct Request {
+    std::size_t idx = static_cast<std::size_t>(-1);
+  };
+
+  SimComm(int ranks, perf::HierarchicalNetworkModel net);
+
+  int ranks() const { return static_cast<int>(stats_.size()); }
+  const perf::HierarchicalNetworkModel& net() const { return net_; }
+  const RankStats& stats(int r) const { return stats_[r]; }
+  double clock(int r) const { return stats_[r].clock; }
+  double max_clock() const;
+  const std::vector<MsgLog>& log() const { return log_; }
+  std::uint64_t total_messages() const { return log_.size(); }
+  std::uint64_t total_bytes() const;
+
+  /// Rank-local compute for `seconds` of virtual time.
+  void advance(int r, double seconds);
+
+  /// Nonblocking receive on rank r of a message (src, tag); the payload is
+  /// delivered into *out by wait_all.
+  Request irecv(int r, int src, int tag, Payload* out);
+
+  /// Nonblocking send from rank r; the payload is moved into the router.
+  Request isend(int r, int dst, int tag, Payload payload);
+
+  /// Complete the given requests on rank r, advancing its clock past the
+  /// latest delivery and splitting the comm window into hidden/exposed.
+  void wait_all(int r, std::vector<Request>& reqs);
+
+  /// Collectives. The lockstep driver passes every rank's contribution at
+  /// once; all clocks synchronize to max(clock) + modeled collective time.
+  double allreduce_min(const std::vector<double>& contrib);
+  double allreduce_max(const std::vector<double>& contrib);
+  double allreduce_sum(const std::vector<double>& contrib);
+
+  /// Allgather of variable-length per-rank payloads (ring schedule: every
+  /// rank receives each other rank's block once). Returns the payloads
+  /// concatenated in rank order — identical on every rank.
+  Payload allgather(const std::vector<Payload>& contrib);
+
+ private:
+  struct Pending {  // in-flight message in a mailbox
+    int src, tag;
+    Payload data;
+    double t_ready;
+    bool consumed = false;
+  };
+  struct Req {
+    bool recv = false;
+    int rank = -1, peer = -1, tag = 0;
+    double t_post = 0;
+    Payload* out = nullptr;  // recv only
+    bool done = false;
+  };
+
+  double reduce_clocks(std::uint64_t bytes);  // sync + tree allreduce cost
+
+  perf::HierarchicalNetworkModel net_;
+  std::vector<RankStats> stats_;
+  std::vector<std::vector<Pending>> mailbox_;  // per destination rank
+  std::vector<Req> reqs_;
+  std::vector<MsgLog> log_;
+};
+
+}  // namespace dgr::dist

@@ -24,4 +24,48 @@ inline NetworkModel nvlink() { return {"NVLink3", 5.0e-6, 1.0 / 250.0e9}; }
 /// HDR InfiniBand between nodes (~23 GB/s effective).
 inline NetworkModel infiniband() { return {"HDR-IB", 2.0e-6, 1.0 / 23.0e9}; }
 
+/// Two-level interconnect: ranks on the same node talk over `intra`
+/// (NVLink-class), ranks on different nodes over `inter` (IB-class). The
+/// link for a message is chosen by rank distance given `ranks_per_node`,
+/// which is how the Summit/Frontera runs of Figs. 17-20 actually route.
+struct HierarchicalNetworkModel {
+  NetworkModel intra = nvlink();
+  NetworkModel inter = infiniband();
+  int ranks_per_node = 4;
+
+  bool same_node(int a, int b) const {
+    return a / ranks_per_node == b / ranks_per_node;
+  }
+  const NetworkModel& link(int a, int b) const {
+    return same_node(a, b) ? intra : inter;
+  }
+  double time(int src, int dst, std::uint64_t bytes, int messages = 1) const {
+    return link(src, dst).time(bytes, messages);
+  }
+
+  /// Binary-tree allreduce over `ranks` ranks: ceil(log2 P) reduce rounds up
+  /// the tree plus the same number of broadcast rounds down, each paying one
+  /// message of `bytes` over the slowest link the round crosses (inter-node
+  /// once the job spans more than one node).
+  double allreduce_time(int ranks, std::uint64_t bytes) const {
+    if (ranks <= 1) return 0.0;
+    int rounds = 0;
+    for (int p = 1; p < ranks; p <<= 1) ++rounds;
+    const NetworkModel& nm = ranks > ranks_per_node ? inter : intra;
+    return 2.0 * rounds * nm.time(bytes, 1);
+  }
+};
+
+/// A single-level network expressed as a hierarchy (both tiers identical) —
+/// lets flat-interconnect studies reuse the hierarchical-model code paths.
+inline HierarchicalNetworkModel flat_network(const NetworkModel& m) {
+  return {m, m, 1 << 30};
+}
+
+/// The default GPU-cluster model of the scaling figures: 4 A100s per node
+/// on NVLink, HDR-IB across nodes.
+inline HierarchicalNetworkModel gpu_cluster(int ranks_per_node = 4) {
+  return {nvlink(), infiniband(), ranks_per_node};
+}
+
 }  // namespace dgr::perf

@@ -11,17 +11,70 @@ using bssn::BssnState;
 using bssn::kNumVars;
 using mesh::kPatchPts;
 
-BssnCtx::BssnCtx(std::shared_ptr<mesh::Mesh> mesh, SolverConfig config)
+RhsPipeline::RhsPipeline(std::shared_ptr<const mesh::Mesh> mesh,
+                         SolverConfig config)
     : mesh_(std::move(mesh)), config_(config) {
   DGR_CHECK(mesh_ != nullptr);
   DGR_CHECK(config_.chunk_octants > 0);
-  state_.resize(mesh_->num_dofs());
-  for (auto& k : k_) k.resize(mesh_->num_dofs());
-  stage_.resize(mesh_->num_dofs());
   const std::size_t cap =
       static_cast<std::size_t>(config_.chunk_octants) * kNumVars * kPatchPts;
   patch_in_.resize(cap);
   patch_out_.resize(cap);
+}
+
+void RhsPipeline::set_mesh(std::shared_ptr<const mesh::Mesh> mesh) {
+  DGR_CHECK(mesh != nullptr);
+  mesh_ = std::move(mesh);
+}
+
+void RhsPipeline::compute(const BssnState& u, BssnState& rhs,
+                          const std::vector<OctRange>& runs,
+                          PhaseBreakdown* phases, OpCounts* counts) {
+  const auto in = u.cptrs();
+  const auto out = rhs.ptrs();
+  const Real half = mesh_->domain().half_extent;
+
+  for (const auto& run : runs) {
+    DGR_CHECK(run.first >= 0 &&
+              run.second <= static_cast<OctIndex>(mesh_->num_octants()));
+    for (OctIndex begin = run.first; begin < run.second;
+         begin += config_.chunk_octants) {
+      const OctIndex end =
+          std::min<OctIndex>(begin + config_.chunk_octants, run.second);
+
+      if (phases) phases->unzip.start();
+      mesh_->unzip(in.data(), kNumVars, begin, end, patch_in_.data(),
+                   config_.unzip_method, counts);
+      if (phases) phases->unzip.stop();
+
+      if (phases) phases->rhs.start();
+      for (OctIndex e = begin; e < end; ++e) {
+        const std::size_t base =
+            static_cast<std::size_t>(e - begin) * kNumVars * kPatchPts;
+        const Real* pin[kNumVars];
+        Real* pout[kNumVars];
+        for (int v = 0; v < kNumVars; ++v) {
+          pin[v] = &patch_in_[base + v * kPatchPts];
+          pout[v] = &patch_out_[base + v * kPatchPts];
+        }
+        bssn::bssn_rhs_patch(pin, pout, mesh_->patch_geom(e), half,
+                             config_.bssn, ws_, counts);
+      }
+      if (phases) phases->rhs.stop();
+
+      if (phases) phases->zip.start();
+      mesh_->zip(patch_out_.data(), kNumVars, begin, end, out.data(), counts);
+      if (phases) phases->zip.stop();
+    }
+  }
+}
+
+BssnCtx::BssnCtx(std::shared_ptr<mesh::Mesh> mesh, SolverConfig config)
+    : mesh_(std::move(mesh)), config_(config), pipeline_(mesh_, config) {
+  DGR_CHECK(mesh_ != nullptr);
+  state_.resize(mesh_->num_dofs());
+  for (auto& k : k_) k.resize(mesh_->num_dofs());
+  stage_.resize(mesh_->num_dofs());
 }
 
 Real BssnCtx::suggested_dt() const {
@@ -29,39 +82,9 @@ Real BssnCtx::suggested_dt() const {
 }
 
 void BssnCtx::compute_rhs(const BssnState& u, BssnState& rhs) {
-  const auto in = u.cptrs();
-  const auto out = rhs.ptrs();
-  const OctIndex n = static_cast<OctIndex>(mesh_->num_octants());
-  const Real half = mesh_->domain().half_extent;
-
-  for (OctIndex begin = 0; begin < n; begin += config_.chunk_octants) {
-    const OctIndex end =
-        std::min<OctIndex>(begin + config_.chunk_octants, n);
-
-    phases_.unzip.start();
-    mesh_->unzip(in.data(), kNumVars, begin, end, patch_in_.data(),
-                 config_.unzip_method, &counts_);
-    phases_.unzip.stop();
-
-    phases_.rhs.start();
-    for (OctIndex e = begin; e < end; ++e) {
-      const std::size_t base =
-          static_cast<std::size_t>(e - begin) * kNumVars * kPatchPts;
-      const Real* pin[kNumVars];
-      Real* pout[kNumVars];
-      for (int v = 0; v < kNumVars; ++v) {
-        pin[v] = &patch_in_[base + v * kPatchPts];
-        pout[v] = &patch_out_[base + v * kPatchPts];
-      }
-      bssn::bssn_rhs_patch(pin, pout, mesh_->patch_geom(e), half,
-                           config_.bssn, ws_, &counts_);
-    }
-    phases_.rhs.stop();
-
-    phases_.zip.start();
-    mesh_->zip(patch_out_.data(), kNumVars, begin, end, out.data(), &counts_);
-    phases_.zip.stop();
-  }
+  pipeline_.compute(u, rhs,
+                    {{0, static_cast<OctIndex>(mesh_->num_octants())}},
+                    &phases_, &counts_);
 }
 
 void BssnCtx::rk4_step(Real dt) {
@@ -109,6 +132,7 @@ void BssnCtx::remesh(std::shared_ptr<mesh::Mesh> new_mesh) {
   DGR_CHECK(new_mesh != nullptr);
   BssnState next = transfer_state(*mesh_, state_, *new_mesh);
   mesh_ = std::move(new_mesh);
+  pipeline_.set_mesh(mesh_);
   state_ = std::move(next);
   for (auto& k : k_) k.resize(mesh_->num_dofs());
   stage_.resize(mesh_->num_dofs());

@@ -46,6 +46,37 @@ struct PhaseBreakdown {
   }
 };
 
+/// One contiguous run of octant indices [first, second).
+using OctRange = std::pair<OctIndex, OctIndex>;
+
+/// The chunked unzip -> patch-RHS -> zip pipeline over arbitrary contiguous
+/// octant runs, factored out of BssnCtx so per-rank mesh views (src/dist)
+/// run the exact same arithmetic over octant subsets. Restricting the runs
+/// is bitwise-safe: unzip scatters into each target patch in a fixed order
+/// (self, then adjacency order) independent of chunk composition, and zip
+/// writes each DOF only from its owner octant. DOFs owned by octants
+/// outside the runs are left untouched in the output state.
+class RhsPipeline {
+ public:
+  RhsPipeline(std::shared_ptr<const mesh::Mesh> mesh, SolverConfig config);
+
+  const SolverConfig& config() const { return config_; }
+
+  /// Swap the mesh (after a regrid); buffers are reused.
+  void set_mesh(std::shared_ptr<const mesh::Mesh> mesh);
+
+  /// Evaluate the BSSN RHS of `u` into `rhs` over the given runs.
+  void compute(const bssn::BssnState& u, bssn::BssnState& rhs,
+               const std::vector<OctRange>& runs, PhaseBreakdown* phases,
+               OpCounts* counts);
+
+ private:
+  std::shared_ptr<const mesh::Mesh> mesh_;
+  SolverConfig config_;
+  bssn::DerivWorkspace ws_;
+  std::vector<Real> patch_in_, patch_out_;
+};
+
 class BssnCtx {
  public:
   BssnCtx(std::shared_ptr<mesh::Mesh> mesh, SolverConfig config);
@@ -97,8 +128,7 @@ class BssnCtx {
   std::size_t steps_ = 0;
   PhaseBreakdown phases_;
   OpCounts counts_;
-  bssn::DerivWorkspace ws_;
-  std::vector<Real> patch_in_, patch_out_;
+  RhsPipeline pipeline_;
 };
 
 /// Transfer all 24 fields of `src` (on `src_mesh`) to a state on

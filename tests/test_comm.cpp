@@ -116,6 +116,83 @@ TEST(HaloExchange, GhostValuesMatchGlobalField) {
   }
 }
 
+TEST(HaloExchange, CrossesCoarseFinePartitionBoundaries) {
+  // A refined octree split mid-level: partition ranks so that rank
+  // boundaries cut through the level transitions around the puncture, then
+  // check the exchanged ghost payloads — including hanging points resolved
+  // through coarse-host interpolation rules — against direct octant loads.
+  Mesh m = make_adaptive();
+  const auto part = partition_mesh(m, 5);
+
+  // The partition must actually put a coarse-fine interface on a rank
+  // boundary, i.e. some ghost octant differs in level from the owned
+  // octant adjacent to it.
+  bool cross_level_halo = false;
+  for (int r = 0; r < part.ranks && !cross_level_halo; ++r)
+    for (std::size_t e = part.splits[r]; e < part.splits[r + 1]; ++e)
+      for (OctIndex nb : m.adjacency(OctIndex(e)))
+        if (part.rank_of(nb) != r &&
+            m.tree().leaf(nb).level != m.tree().leaf(OctIndex(e)).level) {
+          cross_level_halo = true;
+          break;
+        }
+  ASSERT_TRUE(cross_level_halo);
+
+  Rng rng(77);
+  std::vector<Real> field(m.num_dofs());
+  for (auto& v : field) v = rng.uniform(-2, 2);
+  std::vector<std::vector<Real>> ghosts;
+  halo_exchange_field(m, part, field.data(), &ghosts);
+  for (int r = 0; r < part.ranks; ++r) {
+    std::set<OctIndex> gset;
+    for (std::size_t e = part.splits[r]; e < part.splits[r + 1]; ++e)
+      for (OctIndex nb : m.adjacency(OctIndex(e)))
+        if (part.rank_of(nb) != r) gset.insert(nb);
+    ASSERT_EQ(ghosts[r].size(), gset.size() * mesh::kOctPts);
+    std::size_t off = 0;
+    for (OctIndex g : gset) {
+      Real u[mesh::kOctPts];
+      m.load_octant(field.data(), g, u);  // resolves hanging rules
+      for (int i = 0; i < mesh::kOctPts; ++i)
+        EXPECT_EQ(ghosts[r][off + i], u[i]) << "rank " << r << " oct " << g;
+      off += mesh::kOctPts;
+    }
+  }
+}
+
+TEST(ExchangeMaps, InteriorOctantsReadOnlyLocalDofs) {
+  // The overlap schedule computes interior octants while the halo is in
+  // flight — their full unzip read set (own points, adjacent sources,
+  // hanging-rule terms) must be rank-local.
+  Mesh m = make_adaptive();
+  const auto part = partition_mesh(m, 4);
+  const auto maps = build_exchange_maps(m, part);
+  for (int r = 0; r < 4; ++r) {
+    for (OctIndex b : maps[r].interior) {
+      std::vector<OctIndex> sources = {b};
+      for (OctIndex e : m.adjacency(b)) sources.push_back(e);
+      for (OctIndex e : sources) {
+        const std::int64_t* o2n = m.o2n(e);
+        for (int i = 0; i < mesh::kOctPts; ++i) {
+          if (o2n[i] >= 0) {
+            EXPECT_EQ(part.rank_of(m.dof_owner(o2n[i])), r);
+          } else {
+            for (const auto& [dof, w] :
+                 m.hanging_rules()[-(o2n[i] + 1)].terms) {
+              (void)w;
+              EXPECT_EQ(part.rank_of(m.dof_owner(dof)), r);
+            }
+          }
+        }
+      }
+    }
+    // Boundary octants exist wherever the rank has peers.
+    if (!maps[r].peers.empty()) {
+      EXPECT_FALSE(maps[r].boundary.empty());
+    }
+  }
+}
+
 TEST(Scaling, PerfectOnOneRank) {
   Mesh m = make_mesh();
   const auto part = partition_mesh(m, 1);
