@@ -17,9 +17,10 @@
 #include "codegen/machine.hpp"
 #include "common/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dgr;
   bench::header("Ablation", "chunk size / unzip method / register budget");
+  bench::Reporter rep("ablation_pipeline", argc, argv);
 
   // (a) chunk size.
   {
@@ -37,6 +38,7 @@ int main() {
       const double mb = 2.0 * chunk * bssn::kNumVars * mesh::kPatchPts *
                         sizeof(Real) / 1e6;
       std::printf("      %-5d | %-18.1f | %.2f\n", chunk, mb, t.seconds());
+      rep.metric("chunk" + std::to_string(chunk) + "_wall_s", t.seconds());
     }
     bench::note("larger chunks amortize halo loads; memory grows linearly —");
     bench::note("the default (64) keeps buffers ~70 MB at equal speed.");
@@ -59,6 +61,7 @@ int main() {
       const double s = t.seconds();
       const bool scatter = method == mesh::UnzipMethod::kLoopOverOctants;
       if (scatter) base = s;
+      else rep.pair("end_to_end_slowdown_gather", NAN, s / base, "x");
       std::printf("      %-18s | wall %.2f s | unzip share %.0f%%%s\n",
                   scatter ? "loop-over-octants" : "loop-over-patches", s,
                   100 * ctx.breakdown().unzip.total_seconds() / s,
@@ -78,9 +81,11 @@ int main() {
     std::printf("      regs | spill loads+stores (bytes)\n");
     for (int regs : {16, 32, 56, 96, 160}) {
       const CompiledKernel k(bg.graph, roots, Strategy::kBinaryReduce, regs);
+      const auto spill =
+          k.stats().spill_load_bytes + k.stats().spill_store_bytes;
+      rep.metric("spill_bytes_r" + std::to_string(regs), double(spill));
       std::printf("      %-4d | %llu\n", regs,
-                  (unsigned long long)(k.stats().spill_load_bytes +
-                                       k.stats().spill_store_bytes));
+                  (unsigned long long)spill);
     }
     bench::note("the paper's launch_bounds(343,3) = 56 registers sits near");
     bench::note("the knee: more registers buy little once live range fits.");

@@ -7,12 +7,16 @@
 /// parameters") — shapes and ratios are the reproduction target, not
 /// absolute numbers.
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bssn/initial_data.hpp"
+#include "common/json.hpp"
 #include "mesh/mesh.hpp"
+#include "obs/obs.hpp"
 #include "octree/refinement.hpp"
 #include "solver/bssn_ctx.hpp"
 
@@ -27,6 +31,149 @@ inline void header(const std::string& id, const std::string& title) {
 inline void note(const std::string& text) {
   std::printf("  [note] %s\n", text.c_str());
 }
+
+/// Machine-readable bench telemetry. Every bench constructs one of these;
+/// when the binary is invoked with `--json [path]`, the reporter
+///   - installs an obs::MetricsRegistry for the bench's lifetime, so the
+///     instrumented libraries (solver, simgpu runtime, dist engine) feed it
+///     automatically,
+///   - records paper-value/our-value pairs via pair(),
+///   - and on destruction writes the canonical `BENCH_<name>.json` (plus a
+///     copy at the requested path, if different) — the file the perf
+///     trajectory is regressed on.
+/// enable_trace() additionally installs an obs::TraceSession whose
+/// virtual-domain timeline is exported to `BENCH_<name>.trace.json` and
+/// referenced from the bench JSON ("trace" key). Without `--json`,
+/// everything is a no-op and the bench behaves exactly as before.
+class Reporter {
+ public:
+  Reporter(std::string name, int argc, char** argv) : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        enabled_ = true;
+        if (i + 1 < argc && argv[i + 1][0] != '-') out_path_ = argv[i + 1];
+      }
+    }
+    if (enabled_) obs::install_metrics(&metrics_);
+  }
+
+  ~Reporter() {
+    if (obs::metrics() == &metrics_) obs::install_metrics(nullptr);
+    if (obs::trace() == trace_.get()) obs::install_trace(nullptr);
+    if (enabled_) write();
+  }
+
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  bool json_enabled() const { return enabled_; }
+
+  /// Record one paper-value/our-value comparison row. Pass NAN for `paper`
+  /// when the paper reports no value (serialized as null).
+  void pair(const std::string& key, double paper, double ours,
+            const std::string& unit = "") {
+    pairs_.push_back({key, paper, ours, unit});
+  }
+
+  /// Record a standalone measured value.
+  void metric(const std::string& key, double v) {
+    metrics_.set("bench." + key, v);
+  }
+
+  /// Print a note and record it in the JSON report.
+  void note(const std::string& text) {
+    bench::note(text);
+    notes_.push_back(text);
+  }
+
+  /// Install a TraceSession (owned by the reporter) whose `domain` timeline
+  /// is exported next to the JSON on destruction. Returns nullptr when
+  /// --json was not given.
+  obs::TraceSession* enable_trace(obs::Clock domain = obs::Clock::kVirtual) {
+    if (!enabled_) return nullptr;
+    if (!trace_) {
+      trace_ = std::make_unique<obs::TraceSession>();
+      trace_domain_ = domain;
+      obs::install_trace(trace_.get());
+    }
+    return trace_.get();
+  }
+
+  /// Canonical output paths (directory of the --json argument, if any).
+  std::string json_path() const { return dir() + "BENCH_" + name_ + ".json"; }
+  std::string trace_path() const {
+    return dir() + "BENCH_" + name_ + ".trace.json";
+  }
+
+ private:
+  struct Pair {
+    std::string key;
+    double paper, ours;
+    std::string unit;
+  };
+
+  std::string dir() const {
+    const auto slash = out_path_.rfind('/');
+    return slash == std::string::npos ? "" : out_path_.substr(0, slash + 1);
+  }
+
+  std::string json() const {
+    using jsonu::num;
+    using jsonu::quote;
+    std::string out = "{\"schema\":\"dgr-bench-v1\",\"bench\":";
+    out += quote(name_);
+    out += ",\"pairs\":[";
+    bool first = true;
+    for (const Pair& p : pairs_) {
+      if (!first) out += ",";
+      out += "{\"name\":" + quote(p.key) + ",\"paper\":" + num(p.paper) +
+             ",\"ours\":" + num(p.ours);
+      if (!p.unit.empty()) out += ",\"unit\":" + quote(p.unit);
+      if (std::isfinite(p.paper) && p.paper != 0 && std::isfinite(p.ours))
+        out += ",\"ratio\":" + num(p.ours / p.paper);
+      out += "}";
+      first = false;
+    }
+    out += "],\"notes\":[";
+    first = true;
+    for (const std::string& n : notes_) {
+      if (!first) out += ",";
+      out += quote(n);
+      first = false;
+    }
+    out += "],\"metrics\":" + metrics_.json();
+    if (trace_written_) out += ",\"trace\":" + quote(trace_path());
+    out += "}\n";
+    return out;
+  }
+
+  void write() {
+    if (trace_ && trace_->event_count() > 0)
+      trace_written_ = trace_->write_chrome_trace(trace_path(), trace_domain_);
+    const std::string body = json();
+    const auto dump = [&](const std::string& path) {
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (!f) {
+        std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+        return;
+      }
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+      std::printf("  [json] wrote %s\n", path.c_str());
+    };
+    dump(json_path());
+    if (!out_path_.empty() && out_path_ != json_path()) dump(out_path_);
+  }
+
+  std::string name_, out_path_;
+  bool enabled_ = false;
+  bool trace_written_ = false;
+  std::vector<Pair> pairs_;
+  std::vector<std::string> notes_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::TraceSession> trace_;
+  obs::Clock trace_domain_ = obs::Clock::kVirtual;
+};
 
 /// The Table III adaptivity grids m1..m5 as meshes.
 inline std::shared_ptr<mesh::Mesh> adaptivity_mesh(int family) {

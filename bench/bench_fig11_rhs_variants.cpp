@@ -12,10 +12,11 @@
 #include "codegen/interp_rhs.hpp"
 #include "common/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dgr;
   using namespace dgr::codegen;
   bench::header("Fig. 11", "RHS evaluation: codegen variants, 10 evals/octant");
+  bench::Reporter rep("fig11_rhs_variants", argc, argv);
 
   const auto bg = build_bssn_algebra_graph();
   std::vector<std::int32_t> roots(bg.outputs.begin(), bg.outputs.end());
@@ -61,6 +62,10 @@ int main() {
       for (int rep = 0; rep < 10; ++rep)
         bssn::bssn_rhs_patch(pi, po, geom, 1e9, prm, ws);
     const double t_comp = t.milliseconds() / noct;
+    const std::string oc = std::to_string(noct);
+    rep.pair("speedup_binary_reduce_" + oc, 1.55, times[0] / times[1], "x");
+    rep.pair("speedup_staged_cse_" + oc, 1.76, times[0] / times[2], "x");
+    rep.metric("compiled_ms_per_octant_" + oc, t_comp);
     std::printf(
         "  %-7d | %-11.2f | %-13.2f | %-10.2f | %-8.2f || 1.00 / %.2f / "
         "%.2f\n",

@@ -34,9 +34,10 @@ void print_profile(const oct::Octree& tree, const oct::Domain& dom,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dgr;
   bench::header("Figs. 12/13", "grid level variation along x");
+  bench::Reporter rep("fig12_grid_adaptivity", argc, argv);
 
   // Fig. 12: q = 8 inspiral — small hole much deeper than the large one.
   {
@@ -50,6 +51,8 @@ int main() {
         2);
     std::printf("  inspiral grid: %zu octants, levels %d..%d\n", tree.size(),
                 tree.min_level(), tree.max_level());
+    rep.metric("inspiral_octants", double(tree.size()));
+    rep.pair("inspiral_max_level", 9, tree.max_level());
     print_profile(tree, dom, "Fig. 12: inspiral (q=8), level vs x");
   }
 
@@ -80,6 +83,8 @@ int main() {
     auto tree = oct::Octree::build(should_split, 8).balanced();
     std::printf("\n  post-merger grid: %zu octants, levels %d..%d\n",
                 tree.size(), tree.min_level(), tree.max_level());
+    rep.metric("post_merger_octants", double(tree.size()));
+    rep.pair("post_merger_max_level", 7, tree.max_level());
     print_profile(tree, dom, "Fig. 13: post-merger, level vs x (wave shell)");
   }
   dgr::bench::note("deep pinned levels at the punctures during inspiral;");

@@ -12,9 +12,10 @@
 #include "perf/machine_model.hpp"
 #include "simgpu/gpu_bssn.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dgr;
   bench::header("Fig. 14", "empirical roofline on the A100 model");
+  bench::Reporter rep("fig14_roofline", argc, argv);
 
   const perf::MachineModel a100 = perf::a100();
   std::printf("  peak: %.0f GFlops/s DP, %.0f GB/s; ridge AI = %.2f\n",
@@ -26,7 +27,8 @@ int main() {
   // the modeled per-block time (per-octant working set, as the GPU kernels
   // launch one block per octant).
   auto report = [&](const char* name, const OpCounts& c, std::uint64_t blocks,
-                    const char* ref) {
+                    const char* ref, const char* key = nullptr,
+                    double paper_ai = 0) {
     const double ai = c.arithmetic_intensity();
     OpCounts per_block;
     per_block.flops = c.flops / std::max<std::uint64_t>(1, blocks);
@@ -38,6 +40,10 @@ int main() {
         (blocks * a100.time_finite_cache(per_block));
     std::printf("  %-20s | %-8.2f | %-15.0f | %-14.0f | %-22s\n", name, ai,
                 a100.roofline_gflops(ai), achieved, ref);
+    if (key) {
+      rep.pair(std::string("ai_") + key, paper_ai, ai);
+      rep.metric(std::string("achieved_gflops_") + key, achieved);
+    }
   };
 
   // RHS and algebraic stage on a puncture pipeline run.
@@ -50,14 +56,15 @@ int main() {
     gpu.rk4_step();
     const auto& rhs_rec = gpu.runtime().record("bssn-rhs");
     report("RHS (D + A)", rhs_rec.counts, rhs_rec.blocks,
-           "AI~0.62, ~700 GF/s");
+           "AI~0.62, ~700 GF/s", "rhs", 0.62);
 
     // The A stage alone: per-point flop and byte accounting of Eq. 21b.
     OpCounts a_only;
     a_only.flops = std::uint64_t(bssn::kAFlopsPerPoint);
     a_only.bytes_read = (24 * 2 + 210) * sizeof(Real);
     a_only.bytes_written = 24 * sizeof(Real);
-    report("A (algebraic)", a_only, 1, "Q_A ~ 1.94 (Eq. 21b)");
+    report("A (algebraic)", a_only, 1, "Q_A ~ 1.94 (Eq. 21b)", "algebraic",
+           1.94);
   }
 
   // octant-to-patch on the adaptivity family.
@@ -79,8 +86,11 @@ int main() {
     }
     char name[32];
     std::snprintf(name, sizeof name, "octant-to-patch m%d", fam);
+    char key[16];
+    std::snprintf(key, sizeof key, "o2p_m%d", fam);
     report(name, c, m->num_octants(),
-           fam == 1 ? "~900 GF/s, AI 4.07" : "AI falls with m");
+           fam == 1 ? "~900 GF/s, AI 4.07" : "AI falls with m", key,
+           fam == 1 ? 4.07 : NAN);
   }
   bench::note("all kernels sit left of the ridge point (memory bound),");
   bench::note("matching the paper's conclusion Q < 6.25 => bandwidth limited.");

@@ -14,9 +14,10 @@
 #include "perf/machine_model.hpp"
 #include "simgpu/gpu_bssn.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dgr;
   bench::header("Fig. 15", "padding + 10 RHS evaluations: A100 vs EPYC node");
+  bench::Reporter rep("fig15_rhs_cpu_gpu", argc, argv);
 
   const perf::MachineModel a100 = perf::a100();
   const perf::MachineModel epyc = perf::epyc7763_node();
@@ -42,6 +43,10 @@ int main() {
         (o2p.modeled_seconds(a100) + rhs.modeled_seconds(a100)) * 1e3 * scale;
     const double epyc_ms =
         (o2p.modeled_seconds(epyc) + rhs.modeled_seconds(epyc)) * 1e3 * scale;
+    const std::string g = "m" + std::to_string(fam);
+    rep.pair("gpu_speedup_" + g, 4.0, epyc_ms / a100_ms, "x");
+    rep.metric("a100_ms_" + g, a100_ms);
+    rep.metric("epyc_ms_" + g, epyc_ms);
     std::printf("  m%-3d | %-7zu | %-15.2f | %-20.2f | %-7.2f | %-10.0f\n",
                 fam, m->num_octants(), a100_ms, epyc_ms, epyc_ms / a100_ms,
                 host_ms);

@@ -11,9 +11,10 @@
 #include "perf/machine_model.hpp"
 #include "simgpu/gpu_bssn.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dgr;
   bench::header("Fig. 16", "5 RK4 steps: one A100 vs two-socket EPYC node");
+  bench::Reporter rep("fig16_rk4_cpu_gpu", argc, argv);
 
   const perf::MachineModel a100 = perf::a100();
   const perf::MachineModel epyc = perf::epyc7763_node();
@@ -40,6 +41,9 @@ int main() {
     const double host_s = t.seconds();
     const double a100_s = gpu.runtime().modeled_total_with(a100);
     const double epyc_s = gpu.runtime().modeled_total_with(epyc);
+    rep.pair(std::string("rk4_speedup_") + cfg.name, 2.5, epyc_s / a100_s,
+             "x");
+    rep.metric(std::string("a100_s_") + cfg.name, a100_s);
     std::printf(
         "  %-9s | %-7zu | %-7.1fM | %-8.3f | %-13.3f | %-20.2f | %-7.1f\n",
         cfg.name, m->num_octants(),

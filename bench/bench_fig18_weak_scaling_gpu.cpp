@@ -14,9 +14,10 @@
 #include "perf/machine_model.hpp"
 #include "simgpu/gpu_bssn.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dgr;
   bench::header("Fig. 18", "GPU weak scaling, ~constant unknowns per GPU");
+  bench::Reporter rep("fig18_weak_scaling_gpu", argc, argv);
 
   // Grow the grid with the rank count: deeper refinement for more ranks.
   struct Series {
@@ -64,6 +65,9 @@ int main() {
     const double per_rank = double(m->num_octants()) / sr.ranks;
     if (t_ref < 0) t_ref = t5 / per_rank;  // reference time per octant/rank
     const double weak_eff = t_ref * per_rank / t5;
+    rep.pair("weak_eff_" + std::to_string(sr.ranks), 83.0, 100 * weak_eff,
+             "%");
+    rep.metric("t_step5_" + std::to_string(sr.ranks), t5);
     std::printf(
         "  %-4d | %-7zu | %-7.1fM | %-7.0f | %-11.4f | %-9.5f | %5.1f%%"
         "                     | %.4f\n",

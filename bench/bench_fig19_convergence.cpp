@@ -14,9 +14,10 @@
 #include "gw/extract.hpp"
 #include "solver/regrid.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dgr;
   bench::header("Fig. 19", "waveform convergence with refinement tolerance");
+  bench::Reporter rep("fig19_convergence", argc, argv);
 
   const Real q = 1.0, sep = 2.0, half = 16.0;
   const int steps = 4;
@@ -71,12 +72,22 @@ int main() {
 
   std::printf("  eps      | octants | max |Re r*psi4_22 - reference|\n");
   const auto& ref = series.back();
+  Real prev_diff = -1;
+  bool monotone = true;
   for (std::size_t i = 0; i + 1 < epsilons.size(); ++i) {
     Real diff = 0;
     for (int s = 0; s < steps; ++s)
       diff = std::max(diff, std::abs(series[i][s] - ref[s]));
     std::printf("  %-8.0e | %-7zu | %.3e\n", epsilons[i], octants[i], diff);
+    char key[32];
+    std::snprintf(key, sizeof key, "wave_err_eps%.0e", epsilons[i]);
+    rep.pair(key, NAN, diff);
+    rep.metric(std::string("octants_eps") + std::to_string(i),
+               double(octants[i]));
+    if (prev_diff >= 0 && diff > prev_diff) monotone = false;
+    prev_diff = diff;
   }
+  rep.pair("error_decreases_with_eps", 1.0, monotone ? 1.0 : 0.0);
   std::printf("  %-8.0e | %-7zu | (reference run)\n", epsilons.back(),
               octants.back());
   bench::note("decreasing epsilon refines the grid and the waveform");

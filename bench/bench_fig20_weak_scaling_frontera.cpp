@@ -19,10 +19,11 @@
 #include "perf/machine_model.hpp"
 #include "simgpu/gpu_bssn.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dgr;
   bench::header("Fig. 20",
                 "Frontera weak scaling: per-phase cost of one RK4 step");
+  bench::Reporter rep("fig20_weak_scaling_frontera", argc, argv);
 
   // Per-octant per-RHS-eval op counts by phase, measured once.
   auto m0 = bench::bbh_mesh(1.0, 16.0, 2.0, 2, 4);
@@ -67,6 +68,10 @@ int main() {
                                               dcfg);
   const double comm_step_exec =
       sched.t_comm_exposed_max + sched.t_comm_hidden_max;
+  rep.metric("sched_ranks", ranks0);
+  rep.metric("comm_step_exec_s", comm_step_exec);
+  rep.metric("comm_hidden_frac",
+             sched.t_comm_hidden_max / std::max(1e-300, comm_step_exec));
   std::printf(
       "  executed schedule at %d ranks (~%.0f octants/rank): %llu msgs, "
       "comm/step %.4fs (%.0f%% hidden)\n",
@@ -100,6 +105,11 @@ int main() {
     const double t_zip = 4 * work_oct * c_zip;
     const double t_comm = comm_step_exec;
     const double unknowns = double(cores) * 500e3;
+    if (cores == 229376L) {
+      rep.pair("comm_share_228k", NAN,
+               t_comm / (t_unzip + t_rhs + t_zip + t_comm));
+      rep.metric("total_per_step_228k_s", t_unzip + t_rhs + t_zip + t_comm);
+    }
     std::printf(
         "  %-7ld | %-7.2gB | %-8.3f | %-8.3f | %-10.3f | %-8.4f | %-10.3f |"
         " %-8.4f\n",

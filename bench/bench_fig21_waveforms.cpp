@@ -14,9 +14,10 @@
 #include "simgpu/gpu_bssn.hpp"
 #include "solver/bssn_ctx.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dgr;
   bench::header("Fig. 21", "GW waveforms psi4 (2,2): GPU vs CPU, q = 1 and 2");
+  bench::Reporter rep("fig21_waveforms", argc, argv);
 
   const Real sep = 2.0, half = 16.0, rext = 6.0;
   const int steps = 6;
@@ -53,6 +54,9 @@ int main() {
     }
     std::printf("  q=%.0f: max |GPU-CPU| = %.2e (max amplitude %.2e)\n", q,
                 maxdiff, maxamp);
+    const std::string qs = "q" + std::to_string(int(q));
+    rep.pair("gpu_cpu_maxdiff_" + qs, 0.0, maxdiff);
+    rep.metric("max_amplitude_" + qs, maxamp);
   }
   bench::note("paper: GPU and CPU waveforms 'match very closely'; here the");
   bench::note("device pipeline is kernel-identical, so the match is exact;");

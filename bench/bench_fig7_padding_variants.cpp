@@ -10,9 +10,10 @@
 #include "bench_common.hpp"
 #include "common/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dgr;
   bench::header("Fig. 7", "padding zones: loop-over-patches vs loop-over-octants");
+  bench::Reporter rep("fig7_padding_variants", argc, argv);
 
   constexpr int kVars = 24;
   std::printf(
@@ -37,6 +38,8 @@ int main() {
     };
     const double t_gather = run(mesh::UnzipMethod::kLoopOverPatches);
     const double t_scatter = run(mesh::UnzipMethod::kLoopOverOctants);
+    rep.pair("speedup_m" + std::to_string(fam), 3.0, t_gather / t_scatter,
+             "x");
     std::printf("  m%-3d | %-7zu | %-22.2f | %-22.2f | %.2fx\n", fam,
                 m->num_octants(), t_gather, t_scatter, t_gather / t_scatter);
   }

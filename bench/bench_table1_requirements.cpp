@@ -9,9 +9,10 @@
 #include "bench_common.hpp"
 #include "perf/requirements.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dgr;
   bench::header("Table I", "resolution requirements vs mass ratio");
+  bench::Reporter rep("table1_requirements", argc, argv);
 
   struct PaperRow {
     double q, dx1, dx2, time, steps;
@@ -30,6 +31,10 @@ int main() {
       "paper", "ours");
   for (const auto& row : paper) {
     const auto r = perf::resolution_requirements(row.q);
+    const std::string q = std::to_string(int(row.q));
+    rep.pair("dx_small_q" + q, row.dx1, r.dx_small);
+    rep.pair("merger_time_q" + q, row.time, r.merger_time);
+    rep.pair("timesteps_q" + q, row.steps, r.timesteps);
     std::printf(
         "  %-6.0f | %-10.2e %-11.2e | %-10.2e %-11.2e | %-8.0f %-9.0f | "
         "%-9.1e %-10.1e\n",

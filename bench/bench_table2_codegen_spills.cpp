@@ -13,10 +13,11 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dgr;
   using namespace dgr::codegen;
   bench::header("Table II", "RHS code-generation variants: spills + speedup");
+  bench::Reporter rep("table2_codegen_spills", argc, argv);
 
   const auto bg = build_bssn_algebra_graph();
   std::vector<std::int32_t> roots(bg.outputs.begin(), bg.outputs.end());
@@ -70,6 +71,11 @@ int main() {
         (unsigned long long)st.spill_store_bytes, paper[s].loads,
         (unsigned long long)st.spill_load_bytes, st.max_live,
         paper[s].speedup, baseline_time / per_point);
+    const std::string variant = strategy_name(strategies[s]);
+    rep.pair("spill_loads_" + variant, paper[s].loads,
+             double(st.spill_load_bytes), "bytes");
+    rep.pair("speedup_" + variant, paper[s].speedup,
+             baseline_time / per_point, "x");
   }
   bench::note("56 registers/thread as in __launch_bounds__(343,3);");
   bench::note("speedups measured on the register-machine interpreter, where");

@@ -12,9 +12,10 @@
 #include "common/timer.hpp"
 #include "perf/machine_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dgr;
   bench::header("Table III", "octant-to-patch / patch-to-octant, grids m1..m5");
+  bench::Reporter rep("table3_octant_to_patch", argc, argv);
 
   struct PaperRow {
     int octants;
@@ -84,6 +85,10 @@ int main() {
     const double o2p_model_ms = o2p_model_s * 1e3;
     const double p2o_model_ms = p2o_model_s * 1e3;
     const auto& pr = paper[fam - 1];
+    const std::string g = "m" + std::to_string(fam);
+    rep.pair("ai_o2p_" + g, pr.ai, ai);
+    rep.pair("o2p_ms_" + g, pr.o2p_ms, o2p_model_ms, "ms");
+    rep.pair("p2o_ms_" + g, pr.p2o_ms, p2o_model_ms, "ms");
     std::printf(
         "  m%-3d | %5dx24  %6zux24 | %-7.2f %-7.2f | %-7.2f %-10.2f %-5.1f| "
         "%-7.2f %-7.3f\n",

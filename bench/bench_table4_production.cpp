@@ -13,9 +13,10 @@
 #include "perf/production.hpp"
 #include "simgpu/gpu_bssn.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dgr;
   bench::header("Table IV", "production BBH wall-clock, q = 1, 2, 4, 8");
+  bench::Reporter rep("table4_production", argc, argv);
 
   // Calibrate per-octant-stage modeled cost on a small real pipeline run.
   auto m = bench::bbh_mesh(1.0, 16.0, 2.0, 2, 4);
@@ -52,6 +53,10 @@ int main() {
   for (std::size_t i = 0; i < cfgs.size(); ++i) {
     const auto est =
         perf::estimate_production(cfgs[i], per_oct_stage, utilization);
+    const std::string q = "q" + std::to_string(int(paper[i].q));
+    rep.pair("dx_min_" + q, paper[i].dx1, est.dx_min);
+    rep.pair("timesteps_k_" + q, paper[i].steps_k, est.timesteps / 1e3, "K");
+    rep.pair("wall_hours_" + q, paper[i].hours, est.wall_hours, "h");
     std::printf(
         "  %1.0f | %-7.1e %-6.1e| %-4d | %-5.0f | %-8.0fK %-8.0fK | %-6.0f "
         "%-6.0f\n",

@@ -1,0 +1,21 @@
+#pragma once
+/// \file clock.hpp
+/// \brief The process-wide monotonic host clock shared by logging and
+/// observability (src/obs). Host-domain trace events and the JSON-lines log
+/// sink stamp timestamps from the same epoch, so a trace and a log of the
+/// same run can be correlated directly.
+
+#include <chrono>
+
+namespace dgr {
+
+/// Microseconds elapsed since the process-wide monotonic epoch (the first
+/// call to this function anywhere in the process).
+inline double monotonic_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double, std::micro>(clock::now() - epoch)
+      .count();
+}
+
+}  // namespace dgr

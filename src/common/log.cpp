@@ -1,11 +1,19 @@
 #include "common/log.hpp"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
 
 namespace dgr::log {
 
 namespace {
+bool g_level_set = false;
 Level g_level = Level::kWarn;
+std::FILE* g_json = nullptr;
+
 const char* level_name(Level l) {
   switch (l) {
     case Level::kDebug: return "DEBUG";
@@ -15,14 +23,66 @@ const char* level_name(Level l) {
     default: return "?";
   }
 }
+
+Level level_from_env() {
+  const char* e = std::getenv("DGR_LOG");
+  if (!e || !*e) return Level::kWarn;
+  return parse_level(e, Level::kWarn);
+}
 }  // namespace
 
-void set_level(Level lvl) { g_level = lvl; }
-Level level() { return g_level; }
+Level parse_level(const std::string& name, Level fallback) {
+  std::string s;
+  for (char c : name) s += static_cast<char>(std::tolower((unsigned char)c));
+  if (s == "debug" || s == "0") return Level::kDebug;
+  if (s == "info" || s == "1") return Level::kInfo;
+  if (s == "warn" || s == "warning" || s == "2") return Level::kWarn;
+  if (s == "error" || s == "3") return Level::kError;
+  if (s == "off" || s == "none" || s == "silent" || s == "4")
+    return Level::kOff;
+  return fallback;
+}
+
+void set_level(Level lvl) {
+  g_level = lvl;
+  g_level_set = true;
+}
+
+Level level() {
+  if (!g_level_set) {
+    g_level = level_from_env();
+    g_level_set = true;
+  }
+  return g_level;
+}
+
+bool open_json_sink(const std::string& path) {
+  close_json_sink();
+  g_json = std::fopen(path.c_str(), "a");
+  return g_json != nullptr;
+}
+
+void close_json_sink() {
+  if (g_json) std::fclose(g_json);
+  g_json = nullptr;
+}
+
+bool json_sink_open() { return g_json != nullptr; }
 
 void write(Level lvl, const std::string& msg) {
-  if (lvl < g_level) return;
+  if (lvl < level()) return;
   std::fprintf(stderr, "[dgr %s] %s\n", level_name(lvl), msg.c_str());
+  if (g_json) {
+    std::string line = "{\"ts_us\":";
+    line += jsonu::num(monotonic_us());
+    line += ",\"level\":";
+    line += jsonu::quote(level_name(lvl));
+    line += ",\"msg\":";
+    line += jsonu::quote(msg);
+    line += "}\n";
+    std::fputs(line.c_str(), g_json);
+    std::fflush(g_json);
+  }
 }
 
 }  // namespace dgr::log

@@ -1,6 +1,14 @@
 #pragma once
 /// \file log.hpp
 /// \brief Minimal leveled logging to stderr, silenced by default in tests.
+///
+/// The threshold defaults to the `DGR_LOG` environment variable
+/// (debug|info|warn|error|off, case-insensitive, or the numeric level
+/// 0..4), falling back to warn; set_level() always overrides. An optional
+/// JSON-lines sink mirrors every emitted message as
+///   {"ts_us":<t>,"level":"INFO","msg":"..."}
+/// with timestamps from dgr::monotonic_us() — the same epoch host-domain
+/// trace events (src/obs) use, so logs and traces share one clock.
 
 #include <string>
 
@@ -11,6 +19,15 @@ enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global log threshold; messages below it are dropped.
 void set_level(Level lvl);
 Level level();
+
+/// Parse a level name or digit; returns `fallback` on unrecognized input.
+Level parse_level(const std::string& name, Level fallback = Level::kWarn);
+
+/// Open (append) a JSON-lines sink at `path`; replaces any previous sink.
+/// Returns false if the file cannot be opened.
+bool open_json_sink(const std::string& path);
+void close_json_sink();
+bool json_sink_open();
 
 void write(Level lvl, const std::string& msg);
 

@@ -27,11 +27,20 @@ class WallTimer {
 /// per-phase cost breakdowns (Fig. 20).
 class PhaseTimer {
  public:
-  void start() { t_.restart(); running_ = true; }
+  /// Begin (or re-begin) an interval. Calling start() while an interval is
+  /// already running banks the elapsed time before restarting, so repeated
+  /// start() calls accumulate instead of silently discarding the running
+  /// interval.
+  void start() {
+    if (running_) total_ += t_.seconds();
+    t_.restart();
+    running_ = true;
+  }
   void stop() {
     if (running_) total_ += t_.seconds();
     running_ = false;
   }
+  bool running() const { return running_; }
   double total_seconds() const { return total_; }
   void reset() { total_ = 0.0; running_ = false; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace dgr::dist {
 namespace {
@@ -102,15 +103,28 @@ DistResult evolve_distributed(std::shared_ptr<const mesh::Mesh> mesh,
                               const DistConfig& cfg) {
   DGR_CHECK(mesh != nullptr && cfg.ranks >= 1);
   DGR_CHECK(initial.num_dofs() == mesh->num_dofs());
+  obs::ScopedSpan top("dist::evolve_distributed", "dist");
   SimComm comm(cfg.ranks, cfg.net);
+  // Engine-level virtual track: step/regrid instants and the octant-count
+  // counter, alongside the per-rank tracks SimComm registered.
+  obs::TraceSession* tr = obs::trace();
+  const int eng =
+      tr ? tr->add_track("engine", "steps", obs::Clock::kVirtual) : -1;
   Cohort c = make_cohort(mesh, scfg, cfg, initial);
   DistResult res;
   int tag = 0;
+  const auto mark = [&](const char* what) {
+    if (!tr) return;
+    const double ts = comm.max_clock() * 1e6;
+    tr->instant(eng, what, "engine", ts);
+    tr->counter(eng, "octants", ts, double(c.mesh->num_octants()));
+  };
 
   if (!cfg.execute) {
     for (int ev = 0; ev < cfg.schedule_evals; ++ev) {
       rhs_eval(comm, c, cfg, tag++, /*use_stage=*/false, 0);
       ++res.rhs_evals;
+      mark("rhs-eval");
     }
   } else {
     // Mirror solver::evolve (Algorithm 1) exactly: windows of regrid_every
@@ -129,17 +143,20 @@ DistResult evolve_distributed(std::shared_ptr<const mesh::Mesh> mesh,
         res.rhs_evals += 4;
         time += dt;
         ++res.steps;
+        mark("step");
       }
       if (cfg.do_regrid && time < cfg.t_end - 1e-12) {
         // Regrid: gather the state (the host sync point), remesh and
         // transfer replicated and deterministically on every rank, then
         // repartition and scatter.
+        obs::ScopedSpan regrid_span("dist::regrid", "dist");
         BssnState full = gather_global(comm, c);
         auto next = solver::regrid_mesh(*c.mesh, full, cfg.regrid);
         if (next) {
           BssnState moved = solver::transfer_state(*c.mesh, full, *next);
           c = make_cohort(std::move(next), scfg, cfg, moved);
           ++res.regrids;
+          mark("regrid");
         }
       }
     }
@@ -163,6 +180,20 @@ DistResult evolve_distributed(std::shared_ptr<const mesh::Mesh> mesh,
     res.t_comm_hidden_max =
         std::max(res.t_comm_hidden_max, rep.stats.t_comm_hidden);
     res.ranks.push_back(rep);
+  }
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->add("dist.steps", std::uint64_t(res.steps));
+    m->add("dist.regrids", std::uint64_t(res.regrids));
+    m->add("dist.rhs_evals", std::uint64_t(res.rhs_evals));
+    m->add("dist.messages", res.messages);
+    m->add("dist.bytes", res.bytes);
+    m->set("dist.ranks", double(cfg.ranks));
+    m->set("dist.t_virtual", res.t_virtual);
+    m->set("dist.t_compute_max", res.t_compute_max);
+    m->set("dist.t_comm_exposed_max", res.t_comm_exposed_max);
+    m->set("dist.t_comm_hidden_max", res.t_comm_hidden_max);
+    const double comm = res.t_comm_exposed_max + res.t_comm_hidden_max;
+    if (comm > 0) m->set("dist.comm_hidden_ratio", res.t_comm_hidden_max / comm);
   }
   return res;
 }

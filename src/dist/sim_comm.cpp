@@ -6,9 +6,29 @@
 
 namespace dgr::dist {
 
+namespace {
+constexpr double kUs = 1e6;  // virtual seconds -> trace microseconds
+}
+
 SimComm::SimComm(int ranks, perf::HierarchicalNetworkModel net)
     : net_(net), stats_(ranks), mailbox_(ranks) {
   DGR_CHECK(ranks >= 1);
+  trace_ = obs::trace();
+  tracks_.resize(ranks);
+  if (trace_) {
+    for (int r = 0; r < ranks; ++r) {
+      const std::string proc = "rank " + std::to_string(r);
+      tracks_[r].exec = trace_->add_track(proc, "exec", obs::Clock::kVirtual);
+      tracks_[r].halo = trace_->add_track(proc, "halo", obs::Clock::kVirtual);
+    }
+  }
+}
+
+void SimComm::trace_span(int track, const std::string& name, const char* cat,
+                         double t0, double t1) {
+  if (!trace_ || t1 <= t0) return;
+  trace_->span_begin(track, name, cat, t0 * kUs);
+  trace_->span_end(track, t1 * kUs);
 }
 
 double SimComm::max_clock() const {
@@ -25,6 +45,8 @@ std::uint64_t SimComm::total_bytes() const {
 
 void SimComm::advance(int r, double seconds) {
   DGR_CHECK(seconds >= 0);
+  trace_span(tracks_[r].exec, "compute", "compute", stats_[r].clock,
+             stats_[r].clock + seconds);
   stats_[r].clock += seconds;
   stats_[r].t_compute += seconds;
 }
@@ -60,13 +82,22 @@ SimComm::Request SimComm::isend(int r, int dst, int tag, Payload payload) {
   const double t_ready = stats_[r].clock + link.beta * double(bytes);
   stats_[r].msgs_sent += 1;
   stats_[r].bytes_sent += bytes;
+  const std::uint64_t seq = log_.size();
+  if (trace_) {
+    trace_->span_begin(tracks_[r].exec, "isend", "comm", q.t_post * kUs,
+                       {{"dst", std::to_string(dst)},
+                        {"bytes", std::to_string(bytes)}});
+    trace_->flow_begin(tracks_[r].exec, "msg", "comm", q.t_post * kUs, seq);
+    trace_->span_end(tracks_[r].exec, stats_[r].clock * kUs);
+  }
   log_.push_back({r, dst, tag, bytes, q.t_post, t_ready});
-  mailbox_[dst].push_back({r, tag, std::move(payload), t_ready});
+  mailbox_[dst].push_back({r, tag, std::move(payload), t_ready, seq});
   return Request{reqs_.size() - 1};
 }
 
 void SimComm::wait_all(int r, std::vector<Request>& reqs) {
   double t_post_min = -1, arrival = -1;
+  std::vector<std::pair<std::uint64_t, double>> delivered;  // (seq, t_ready)
   for (const Request& h : reqs) {
     DGR_CHECK(h.idx < reqs_.size());
     Req& q = reqs_[h.idx];
@@ -86,6 +117,7 @@ void SimComm::wait_all(int r, std::vector<Request>& reqs) {
     q.done = true;
     t_post_min = t_post_min < 0 ? q.t_post : std::min(t_post_min, q.t_post);
     arrival = std::max(arrival, match->t_ready);
+    if (trace_) delivered.emplace_back(match->seq, match->t_ready);
   }
   mailbox_[r].erase(
       std::remove_if(mailbox_[r].begin(), mailbox_[r].end(),
@@ -102,13 +134,27 @@ void SimComm::wait_all(int r, std::vector<Request>& reqs) {
       std::max(0.0, std::min(t_wait, arrival) - t_post_min);
   s.t_comm_exposed += exposed;
   s.t_comm_hidden += hidden;
+  if (trace_) {
+    // Halo row: the comm window split into its hidden and exposed parts.
+    const double t_split = std::min(t_wait, arrival);
+    trace_span(tracks_[r].halo, "halo hidden", "comm", t_post_min, t_split);
+    trace_span(tracks_[r].halo, "halo exposed", "comm", t_split, arrival);
+    // Exec row: the stall, if any.
+    trace_span(tracks_[r].exec, "wait", "comm", t_wait, arrival);
+    // Message-flow arrows terminate at each payload's delivery time.
+    for (const auto& [seq, t_ready] : delivered)
+      trace_->flow_end(tracks_[r].halo, "msg", "comm", t_ready * kUs, seq);
+  }
   s.clock = std::max(s.clock, arrival);
 }
 
 double SimComm::reduce_clocks(std::uint64_t bytes) {
   const double sync = max_clock();
   const double cost = net_.allreduce_time(ranks(), bytes);
-  for (auto& s : stats_) {
+  for (int r = 0; r < ranks(); ++r) {
+    RankStats& s = stats_[r];
+    trace_span(tracks_[r].exec, "allreduce", "collective", s.clock,
+               sync + cost);
     s.t_collective += (sync + cost) - s.clock;
     s.clock = sync + cost;
   }
@@ -149,6 +195,8 @@ SimComm::Payload SimComm::allgather(const std::vector<Payload>& contrib) {
       stats_[p].msgs_sent += 1;  // each block forwarded once along the ring
       stats_[p].bytes_sent += contrib[p].size() * sizeof(Real);
     }
+    trace_span(tracks_[r].exec, "allgather", "collective", stats_[r].clock,
+               sync + cost);
     stats_[r].t_collective += (sync + cost) - stats_[r].clock;
     stats_[r].clock = sync + cost;
   }

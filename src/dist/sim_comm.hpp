@@ -18,11 +18,19 @@
 /// compute the rank performed between posting the receives and waiting)
 /// and an exposed part (time spent stalled in the wait). This makes
 /// overlap a measured quantity instead of an assumption.
+///
+/// Observability: when an obs::TraceSession is installed at construction,
+/// every rank gets two virtual-time tracks — "exec" (compute spans, sends,
+/// exposed waits, collectives) and "halo" (the comm window split into
+/// "halo hidden" / "halo exposed" spans) — and every message draws a flow
+/// arrow from its injection on the sender to its delivery on the receiver,
+/// rendering the overlapped schedule directly in Perfetto.
 
 #include <cstdint>
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/obs.hpp"
 #include "perf/network.hpp"
 
 namespace dgr::dist {
@@ -96,6 +104,7 @@ class SimComm {
     int src, tag;
     Payload data;
     double t_ready;
+    std::uint64_t seq = 0;  ///< message sequence (flow-arrow id)
     bool consumed = false;
   };
   struct Req {
@@ -108,11 +117,21 @@ class SimComm {
 
   double reduce_clocks(std::uint64_t bytes);  // sync + tree allreduce cost
 
+  // Trace helpers (no-ops when no session was installed at construction).
+  void trace_span(int track, const std::string& name, const char* cat,
+                  double t0, double t1);
+
   perf::HierarchicalNetworkModel net_;
   std::vector<RankStats> stats_;
   std::vector<std::vector<Pending>> mailbox_;  // per destination rank
   std::vector<Req> reqs_;
   std::vector<MsgLog> log_;
+
+  obs::TraceSession* trace_ = nullptr;  ///< borrowed; set at construction
+  struct RankTracks {
+    int exec = -1, halo = -1;
+  };
+  std::vector<RankTracks> tracks_;
 };
 
 }  // namespace dgr::dist

@@ -1,0 +1,53 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+
+namespace dgr::obs {
+
+std::string MetricsRegistry::json() const {
+  using jsonu::num;
+  using jsonu::quote;
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [k, v] : counters_) {
+    if (!first) out += ",";
+    out += quote(k) + ":" + num(v);
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [k, v] : gauges_) {
+    if (!first) out += ",";
+    out += quote(k) + ":" + num(v);
+    first = false;
+  }
+  out += "},\"summaries\":{";
+  first = true;
+  for (const auto& [k, s] : summaries_) {
+    if (!first) out += ",";
+    out += quote(k) + ":{\"count\":" + num(s.count) + ",\"sum\":" +
+           num(s.sum) + ",\"min\":" + num(s.min) + ",\"max\":" + num(s.max) +
+           ",\"mean\":" + num(s.mean()) + "}";
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+bool MetricsRegistry::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    log::error("metrics: cannot open " + path);
+    return false;
+  }
+  const std::string body = json() + "\n";
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  log::info("metrics: wrote " + path);
+  return ok;
+}
+
+}  // namespace dgr::obs

@@ -1,0 +1,86 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief MetricsRegistry: named counters (monotonic uint64), gauges
+/// (last-value double), and summaries (count/sum/min/max of observations),
+/// with a deterministic JSON snapshot writer. The solver, the simulated
+/// GPU runtime, and the distributed engine feed a registry installed via
+/// obs::install_metrics(); benches snapshot it into BENCH_<name>.json.
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+namespace dgr::obs {
+
+class MetricsRegistry {
+ public:
+  struct Summary {
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    double mean() const { return count ? sum / double(count) : 0.0; }
+  };
+
+  /// Counter: monotonically increasing by `n`.
+  void add(const std::string& name, std::uint64_t n = 1) {
+    counters_[name] += n;
+  }
+  /// Gauge: last value wins.
+  void set(const std::string& name, double v) { gauges_[name] = v; }
+  /// Summary: record one observation.
+  void observe(const std::string& name, double v) {
+    Summary& s = summaries_[name];
+    s.count += 1;
+    s.sum += v;
+    if (v < s.min) s.min = v;
+    if (v > s.max) s.max = v;
+  }
+
+  std::uint64_t counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  bool has_gauge(const std::string& name) const {
+    return gauges_.count(name) > 0;
+  }
+  double gauge(const std::string& name) const {
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+  }
+  const Summary* summary(const std::string& name) const {
+    auto it = summaries_.find(name);
+    return it == summaries_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Summary>& summaries() const {
+    return summaries_;
+  }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && summaries_.empty();
+  }
+  void reset() {
+    counters_.clear();
+    gauges_.clear();
+    summaries_.clear();
+  }
+
+  /// Snapshot as a JSON object (sorted by name within each kind):
+  /// {"counters":{...},"gauges":{...},"summaries":{"x":{"count":...}}}
+  std::string json() const;
+  /// Write json() to `path`; returns false if the file cannot be written.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Summary> summaries_;
+};
+
+}  // namespace dgr::obs

@@ -1,0 +1,57 @@
+#pragma once
+/// \file obs.hpp
+/// \brief Process-wide observability hooks. A TraceSession and a
+/// MetricsRegistry can be installed (not owned) for the duration of a run;
+/// instrumented code emits through the helpers below, which are cheap
+/// no-ops (one pointer load and branch) when nothing is installed — the
+/// solver and runtime hot paths pay nothing by default.
+
+#include <cstdint>
+
+#include "common/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dgr::obs {
+
+/// Currently installed session/registry (nullptr when none).
+TraceSession* trace();
+MetricsRegistry* metrics();
+
+/// Install (or uninstall with nullptr). The pointer is borrowed: the caller
+/// keeps ownership and must uninstall before destroying the object.
+void install_trace(TraceSession* session);
+void install_metrics(MetricsRegistry* registry);
+
+/// RAII host-domain span on the installed session's default host track.
+/// No-op when no session is installed at construction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* cat = "host")
+      : session_(trace()) {
+    if (session_)
+      session_->span_begin(session_->host_track(), name, cat,
+                           monotonic_us());
+  }
+  ~ScopedSpan() {
+    if (session_) session_->span_end(session_->host_track(), monotonic_us());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceSession* session_;
+};
+
+// Metric helpers: forward to the installed registry, no-op otherwise.
+inline void count(const char* name, std::uint64_t n = 1) {
+  if (MetricsRegistry* m = metrics()) m->add(name, n);
+}
+inline void gauge_set(const char* name, double v) {
+  if (MetricsRegistry* m = metrics()) m->set(name, v);
+}
+inline void observe(const char* name, double v) {
+  if (MetricsRegistry* m = metrics()) m->observe(name, v);
+}
+
+}  // namespace dgr::obs

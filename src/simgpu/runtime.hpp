@@ -16,6 +16,7 @@
 
 #include "common/counters.hpp"
 #include "common/timer.hpp"
+#include "obs/obs.hpp"
 #include "perf/machine_model.hpp"
 
 namespace dgr::simgpu {
@@ -52,8 +53,14 @@ class GpuRuntime {
   void device_free(std::uint64_t bytes) {
     allocated_ -= std::min(allocated_, bytes);
   }
-  void h2d(std::uint64_t bytes) { h2d_bytes_ += bytes; }
-  void d2h(std::uint64_t bytes) { d2h_bytes_ += bytes; }
+  void h2d(std::uint64_t bytes) {
+    h2d_bytes_ += bytes;
+    obs::count("gpu.h2d_bytes", bytes);
+  }
+  void d2h(std::uint64_t bytes) {
+    d2h_bytes_ += bytes;
+    obs::count("gpu.d2h_bytes", bytes);
+  }
 
   std::uint64_t allocated_bytes() const { return allocated_; }
   std::uint64_t peak_bytes() const { return peak_; }
@@ -75,13 +82,21 @@ class GpuRuntime {
     KernelRecord& rec = records_[name];
     WallTimer t;
     OpCounts c;
-    body(c);
+    {
+      obs::ScopedSpan span(name.c_str(), "kernel");
+      body(c);
+    }
     rec.host_seconds += t.seconds();
     rec.counts += c;
     rec.per_launch.push_back(c);
     rec.launches += 1;
     rec.blocks += blocks;
     rec.stream = stream;
+    if (obs::MetricsRegistry* m = obs::metrics()) {
+      m->add("gpu.launches");
+      m->add("gpu.flops", c.flops);
+      m->add("gpu.kernel." + name + ".bytes", c.bytes_moved());
+    }
   }
 
   bool has_kernel(const std::string& name) const {
@@ -123,9 +138,18 @@ class GpuRuntime {
     return t;
   }
 
+  /// Reset semantics. The runtime distinguishes *counters* — statistics of
+  /// work submitted so far (kernel records, H2D/D2H transfer bytes, and the
+  /// allocation high-water mark) — from *live allocation state*
+  /// (allocated_bytes(), which tracks memory currently held and is only
+  /// changed by device_alloc/device_free). reset_counters() clears all
+  /// counters and restarts the high-water mark from the current allocation,
+  /// so after a reset peak_bytes() reports the maximum reached *since the
+  /// reset* and allocated_bytes() is untouched.
   void reset_counters() {
     records_.clear();
     h2d_bytes_ = d2h_bytes_ = 0;
+    peak_ = allocated_;
   }
 
  private:

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "mesh/sampling.hpp"
+#include "obs/obs.hpp"
 
 namespace dgr::solver {
 
@@ -22,7 +23,29 @@ EvolutionResult evolve(BssnCtx& ctx, const EvolutionConfig& config,
                        PunctureTracker* tracker,
                        const std::function<void(const BssnCtx&)>& on_step) {
   DGR_CHECK(config.regrid_every > 0 && config.extract_every > 0);
+  obs::ScopedSpan top("solver::evolve", "solver");
   EvolutionResult result;
+
+  // Per-step observability: step/regrid counters, mesh size gauges,
+  // cumulative slow-memory traffic, and (opt-in) constraint norms. All of
+  // it is a no-op when no MetricsRegistry is installed.
+  const auto record_step_metrics = [&](const BssnCtx& ctx) {
+    obs::MetricsRegistry* m = obs::metrics();
+    if (!m) return;
+    m->add("solver.steps");
+    m->set("solver.time", ctx.time());
+    m->set("solver.octants", double(ctx.mesh().num_octants()));
+    m->set("solver.dofs", double(ctx.mesh().num_dofs()));
+    m->set("solver.bytes_read", double(ctx.op_counts().bytes_read));
+    m->set("solver.bytes_written", double(ctx.op_counts().bytes_written));
+    if (config.metrics_constraints_every > 0 &&
+        result.steps % config.metrics_constraints_every == 0) {
+      const auto norms = ctx.constraint_norms();
+      m->observe("solver.ham_l2", norms.ham_l2);
+      m->observe("solver.ham_linf", norms.ham_linf);
+      m->observe("solver.mom_l2", norms.mom_l2);
+    }
+  };
 
   std::optional<gw::WaveExtractor> extractor;
   if (!config.extraction_radii.empty()) {
@@ -42,10 +65,15 @@ EvolutionResult evolve(BssnCtx& ctx, const EvolutionConfig& config,
          ++i) {
       const Real dt =
           std::min(ctx.suggested_dt(), config.t_end - ctx.time());
-      ctx.rk4_step(dt);
+      {
+        obs::ScopedSpan step_span("rk4_step", "solver");
+        ctx.rk4_step(dt);
+      }
       ++result.steps;
+      record_step_metrics(ctx);
       if (tracker) tracker->step(ctx.mesh(), ctx.state(), dt);
       if (extractor && result.steps % config.extract_every == 0) {
+        obs::ScopedSpan extract_span("wave-extract", "solver");
         const auto modes = extractor->extract_from_state(
             ctx.mesh(), ctx.state(), ctx.config().bssn);
         for (std::size_t r = 0; r < modes.size(); ++r)
@@ -55,10 +83,12 @@ EvolutionResult evolve(BssnCtx& ctx, const EvolutionConfig& config,
     }
     // Re-grid (Algorithm 1 line 3): the host-side synchronization point.
     if (ctx.time() < config.t_end - 1e-12) {
+      obs::ScopedSpan regrid_span("regrid", "solver");
       auto next = regrid_mesh(ctx.mesh(), ctx.state(), config.regrid);
       if (next) {
         ctx.remesh(next);
         ++result.regrids;
+        obs::count("solver.regrids");
       }
     }
   }

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "mesh/interp.hpp"
 #include "mesh/patch.hpp"
+#include "obs/obs.hpp"
 
 namespace dgr::solver {
 
@@ -97,6 +98,7 @@ std::vector<oct::RemeshFlag> flags_from_errors(const mesh::Mesh& mesh,
 std::shared_ptr<mesh::Mesh> regrid_mesh(const mesh::Mesh& mesh,
                                         const bssn::BssnState& state,
                                         const RegridConfig& cfg) {
+  obs::ScopedSpan span("regrid_mesh", "solver");
   const auto err = compute_octant_errors(mesh, state, cfg);
   const auto flags = flags_from_errors(mesh, err, cfg);
   bool any = false;

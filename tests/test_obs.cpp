@@ -1,0 +1,361 @@
+/// \file test_obs.cpp
+/// \brief Observability tests: the Chrome-trace exporter pinned down by a
+/// golden file (byte-exact), the MetricsRegistry JSON snapshot, the
+/// install/uninstall no-op contract of the RAII span guards, the DGR_LOG /
+/// JSON-lines log sink, and the end-to-end guarantee that a 2-rank
+/// evolve_distributed run produces valid, deterministic Chrome-trace JSON
+/// (per-rank pids/tids, B/E pairing, monotone span timestamps per track).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bssn/initial_data.hpp"
+#include "common/log.hpp"
+#include "dist/engine.hpp"
+#include "obs/obs.hpp"
+
+namespace dgr::obs {
+namespace {
+
+// ------------------------------------------------------------ exporter --
+
+TEST(Trace, ChromeJsonGoldenFile) {
+  TraceSession s;
+  const int exec = s.add_track("rank 0", "exec", Clock::kVirtual);
+  const int halo = s.add_track("rank 0", "halo", Clock::kVirtual);
+  s.span_begin(exec, "compute", "exec", 0);
+  s.span_end(exec, 10);
+  s.flow_begin(exec, "msg", "comm", 2, 7);
+  s.span_begin(halo, "halo hidden", "comm", 2, {{"bytes", "1024"}});
+  s.span_end(halo, 8);
+  s.flow_end(halo, "msg", "comm", 8, 7);
+  s.counter(exec, "octants", 0, 64);
+  s.instant(exec, "step", "engine", 10);
+
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"rank 0\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"exec\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"halo\"}},\n"
+      "{\"ph\":\"B\",\"pid\":1,\"tid\":1,\"ts\":0,\"name\":\"compute\","
+      "\"cat\":\"exec\"},\n"
+      "{\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":10},\n"
+      "{\"ph\":\"s\",\"pid\":1,\"tid\":1,\"ts\":2,\"name\":\"msg\","
+      "\"cat\":\"comm\",\"id\":7},\n"
+      "{\"ph\":\"B\",\"pid\":1,\"tid\":2,\"ts\":2,\"name\":\"halo hidden\","
+      "\"cat\":\"comm\",\"args\":{\"bytes\":\"1024\"}},\n"
+      "{\"ph\":\"E\",\"pid\":1,\"tid\":2,\"ts\":8},\n"
+      "{\"ph\":\"f\",\"pid\":1,\"tid\":2,\"ts\":8,\"name\":\"msg\","
+      "\"cat\":\"comm\",\"id\":7,\"bp\":\"e\"},\n"
+      "{\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":0,\"name\":\"octants\","
+      "\"args\":{\"value\":64}},\n"
+      "{\"ph\":\"i\",\"pid\":1,\"tid\":1,\"ts\":10,\"name\":\"step\","
+      "\"cat\":\"engine\",\"s\":\"t\"}\n"
+      "]}\n";
+  EXPECT_EQ(s.chrome_json(Clock::kVirtual), expected);
+}
+
+TEST(Trace, DomainsExportSeparately) {
+  TraceSession s;
+  const int v = s.add_track("rank 0", "exec", Clock::kVirtual);
+  const int h = s.host_track();  // "host"/"main", Clock::kHost
+  s.span_begin(v, "virtual-span", "x", 0);
+  s.span_end(v, 1);
+  s.span_begin(h, "host-span", "x", 100);
+  s.span_end(h, 200);
+  const std::string vj = s.chrome_json(Clock::kVirtual);
+  const std::string hj = s.chrome_json(Clock::kHost);
+  EXPECT_NE(vj.find("virtual-span"), std::string::npos);
+  EXPECT_EQ(vj.find("host-span"), std::string::npos);
+  EXPECT_NE(hj.find("host-span"), std::string::npos);
+  EXPECT_EQ(hj.find("virtual-span"), std::string::npos);
+  // Same process name in both domains keeps its pid.
+  EXPECT_EQ(s.track_domain(v), Clock::kVirtual);
+  EXPECT_EQ(s.track_domain(h), Clock::kHost);
+}
+
+TEST(Trace, PidsGroupByProcessName) {
+  TraceSession s;
+  const int a0 = s.add_track("rank 0", "exec", Clock::kVirtual);
+  const int a1 = s.add_track("rank 0", "halo", Clock::kVirtual);
+  const int b0 = s.add_track("rank 1", "exec", Clock::kVirtual);
+  (void)a0;
+  (void)a1;
+  (void)b0;
+  s.instant(a0, "x", "c", 0);
+  s.instant(a1, "x", "c", 0);
+  s.instant(b0, "x", "c", 0);
+  const std::string j = s.chrome_json(Clock::kVirtual);
+  // rank 0's two rows share pid 1 (tids 1, 2); rank 1 gets pid 2.
+  EXPECT_NE(j.find("\"ph\":\"i\",\"pid\":1,\"tid\":1"), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"i\",\"pid\":1,\"tid\":2"), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"i\",\"pid\":2,\"tid\":1"), std::string::npos);
+}
+
+// ------------------------------------------------------------- metrics --
+
+TEST(Metrics, JsonSnapshotIsSortedAndExact) {
+  MetricsRegistry m;
+  m.add("b.count", 2);
+  m.add("a.count");
+  m.set("g", 1.5);
+  m.observe("lat", 2);
+  m.observe("lat", 4);
+  EXPECT_EQ(m.json(),
+            "{\"counters\":{\"a.count\":1,\"b.count\":2},"
+            "\"gauges\":{\"g\":1.5},"
+            "\"summaries\":{\"lat\":{\"count\":2,\"sum\":6,\"min\":2,"
+            "\"max\":4,\"mean\":3}}}");
+}
+
+TEST(Metrics, AccessorsAndReset) {
+  MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  m.add("c", 3);
+  m.add("c", 4);
+  EXPECT_EQ(m.counter("c"), 7u);
+  EXPECT_EQ(m.counter("missing"), 0u);
+  m.set("g", 2.0);
+  m.set("g", -1.0);
+  EXPECT_EQ(m.gauge("g"), -1.0);
+  m.observe("s", 5.0);
+  ASSERT_NE(m.summary("s"), nullptr);
+  EXPECT_EQ(m.summary("s")->count, 1u);
+  EXPECT_EQ(m.summary("missing"), nullptr);
+  m.reset();
+  EXPECT_TRUE(m.empty());
+}
+
+// --------------------------------------------------------- RAII guards --
+
+TEST(Obs, HelpersAreNoOpsWithoutInstall) {
+  install_trace(nullptr);
+  install_metrics(nullptr);
+  EXPECT_EQ(trace(), nullptr);
+  EXPECT_EQ(metrics(), nullptr);
+  {
+    ScopedSpan span("noop", "test");  // must not crash or allocate a session
+    count("noop.counter");
+    gauge_set("noop.gauge", 1.0);
+    observe("noop.summary", 1.0);
+  }
+  EXPECT_EQ(trace(), nullptr);
+}
+
+TEST(Obs, ScopedSpanWritesToInstalledSession) {
+  TraceSession s;
+  install_trace(&s);
+  {
+    ScopedSpan span("outer", "test");
+    { ScopedSpan inner("inner", "test"); }
+  }
+  install_trace(nullptr);
+  // 2 B + 2 E events on the host track.
+  EXPECT_EQ(s.event_count(), 4u);
+  const std::string j = s.chrome_json(Clock::kHost);
+  EXPECT_NE(j.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"inner\""), std::string::npos);
+}
+
+TEST(Obs, MetricHelpersFeedInstalledRegistry) {
+  MetricsRegistry m;
+  install_metrics(&m);
+  count("x.count", 5);
+  gauge_set("x.gauge", 2.5);
+  observe("x.obs", 7.0);
+  install_metrics(nullptr);
+  EXPECT_EQ(m.counter("x.count"), 5u);
+  EXPECT_EQ(m.gauge("x.gauge"), 2.5);
+  EXPECT_EQ(m.summary("x.obs")->count, 1u);
+}
+
+// ----------------------------------------------------------------- log --
+
+TEST(Log, ParseLevelNamesAndDigits) {
+  using log::Level;
+  using log::parse_level;
+  EXPECT_EQ(parse_level("debug"), Level::kDebug);
+  EXPECT_EQ(parse_level("INFO"), Level::kInfo);
+  EXPECT_EQ(parse_level("Warn"), Level::kWarn);
+  EXPECT_EQ(parse_level("error"), Level::kError);
+  EXPECT_EQ(parse_level("off"), Level::kOff);
+  EXPECT_EQ(parse_level("2"), Level::kWarn);
+  EXPECT_EQ(parse_level("bogus", Level::kError), Level::kError);
+}
+
+TEST(Log, JsonSinkMirrorsMessages) {
+  const std::string path = testing::TempDir() + "dgr_log_sink.jsonl";
+  std::remove(path.c_str());
+  const log::Level before = log::level();
+  log::set_level(log::Level::kInfo);
+  ASSERT_TRUE(log::open_json_sink(path));
+  EXPECT_TRUE(log::json_sink_open());
+  log::info("hello \"quoted\"");
+  log::debug("below threshold, dropped");
+  log::close_json_sink();
+  EXPECT_FALSE(log::json_sink_open());
+  log::set_level(before);
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[512];
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);
+  const std::string line(buf);
+  EXPECT_EQ(std::fgets(buf, sizeof buf, f), nullptr);  // one line only
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(line.find("\"ts_us\":"), std::string::npos);
+  EXPECT_NE(line.find("\"level\":\"INFO\""), std::string::npos);
+  EXPECT_NE(line.find("hello \\\"quoted\\\""), std::string::npos);
+}
+
+// ------------------------------------------- end-to-end distributed run --
+
+struct ParsedEvent {
+  char ph = 0;
+  int pid = 0, tid = 0;
+  double ts = 0;
+};
+
+// Minimal line-oriented parser for the exporter's one-event-per-line form.
+std::vector<ParsedEvent> parse_events(const std::string& j) {
+  std::vector<ParsedEvent> out;
+  const auto field = [](const std::string& line, const std::string& key) {
+    const auto pos = line.find("\"" + key + "\":");
+    EXPECT_NE(pos, std::string::npos) << key << " missing in " << line;
+    return line.substr(pos + key.size() + 3);
+  };
+  std::size_t start = 0;
+  while (start < j.size()) {
+    auto end = j.find('\n', start);
+    if (end == std::string::npos) end = j.size();
+    const std::string line = j.substr(start, end - start);
+    start = end + 1;
+    if (line.rfind("{\"ph\":\"", 0) != 0) continue;
+    ParsedEvent e;
+    e.ph = line[7];
+    e.pid = std::atoi(field(line, "pid").c_str());
+    e.tid = std::atoi(field(line, "tid").c_str());
+    if (e.ph != 'M') e.ts = std::atof(field(line, "ts").c_str());
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::string run_two_rank_trace() {
+  oct::Domain dom{16.0};
+  auto m = std::make_shared<mesh::Mesh>(
+      oct::build_puncture_octree(dom, {{{0.05, 0.03, 0.02}, 3}}, 2), dom);
+  bssn::BssnState s;
+  s.resize(m->num_dofs());
+  bssn::set_punctures(*m, {{1.0, {0.05, 0.03, 0.02}, {0, 0, 0}, {0, 0, 0}}},
+                      s);
+  TraceSession session;
+  install_trace(&session);
+  dist::DistConfig dcfg;
+  dcfg.ranks = 2;
+  dcfg.execute = false;
+  dcfg.schedule_evals = 4;
+  dist::evolve_distributed(m, s, solver::SolverConfig{}, dcfg);
+  install_trace(nullptr);
+  return session.chrome_json(Clock::kVirtual);
+}
+
+TEST(Trace, TwoRankDistributedRunExportsValidSchedule) {
+  const std::string j = run_two_rank_trace();
+
+  // Frame: header and footer of the Chrome trace format.
+  EXPECT_EQ(j.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", 0), 0u);
+  ASSERT_GE(j.size(), 4u);
+  EXPECT_EQ(j.substr(j.size() - 4), "\n]}\n");
+
+  // Both ranks present as named processes with exec + halo rows.
+  EXPECT_NE(j.find("\"args\":{\"name\":\"rank 0\"}"), std::string::npos);
+  EXPECT_NE(j.find("\"args\":{\"name\":\"rank 1\"}"), std::string::npos);
+  EXPECT_NE(j.find("\"args\":{\"name\":\"exec\"}"), std::string::npos);
+  EXPECT_NE(j.find("\"args\":{\"name\":\"halo\"}"), std::string::npos);
+  // The schedule's span vocabulary.
+  EXPECT_NE(j.find("\"name\":\"compute\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"isend\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"halo hidden\""), std::string::npos);
+
+  const auto events = parse_events(j);
+  ASSERT_FALSE(events.empty());
+
+  // Spans pair up (every E closes an open B on its track) and B/E
+  // timestamps are monotone per track; flow/instant events ride between
+  // spans and are exempt from the per-track ordering.
+  std::map<std::pair<int, int>, int> open;
+  std::map<std::pair<int, int>, double> last_ts;
+  std::set<int> pids_with_spans;
+  for (const auto& e : events) {
+    if (e.ph != 'B' && e.ph != 'E') continue;
+    const auto key = std::make_pair(e.pid, e.tid);
+    if (e.ph == 'B') {
+      open[key] += 1;
+      pids_with_spans.insert(e.pid);
+    } else {
+      ASSERT_GT(open[key], 0) << "E without open B on pid " << e.pid
+                              << " tid " << e.tid;
+      open[key] -= 1;
+    }
+    auto it = last_ts.find(key);
+    if (it != last_ts.end()) {
+      EXPECT_GE(e.ts, it->second) << "non-monotone span ts on pid " << e.pid;
+    }
+    last_ts[key] = e.ts;
+  }
+  for (const auto& [key, n] : open) {
+    EXPECT_EQ(n, 0) << "unclosed span";
+  }
+  // Spans on at least the two rank processes.
+  EXPECT_GE(pids_with_spans.size(), 2u);
+
+  // Every flow start has a matching finish ('s' and 'f' counts agree).
+  std::size_t n_s = 0, n_f = 0;
+  for (const auto& e : events) {
+    if (e.ph == 's') ++n_s;
+    if (e.ph == 'f') ++n_f;
+  }
+  EXPECT_GT(n_s, 0u);
+  EXPECT_EQ(n_s, n_f);
+}
+
+TEST(Trace, TwoRankDistributedRunIsDeterministic) {
+  EXPECT_EQ(run_two_rank_trace(), run_two_rank_trace());
+}
+
+TEST(Metrics, DistributedRunFeedsRegistry) {
+  oct::Domain dom{16.0};
+  auto m = std::make_shared<mesh::Mesh>(
+      oct::build_puncture_octree(dom, {{{0.05, 0.03, 0.02}, 3}}, 2), dom);
+  bssn::BssnState s;
+  s.resize(m->num_dofs());
+  bssn::set_punctures(*m, {{1.0, {0.05, 0.03, 0.02}, {0, 0, 0}, {0, 0, 0}}},
+                      s);
+  MetricsRegistry reg;
+  install_metrics(&reg);
+  dist::DistConfig dcfg;
+  dcfg.ranks = 2;
+  dcfg.execute = false;
+  dcfg.schedule_evals = 2;
+  const auto res = dist::evolve_distributed(m, s, solver::SolverConfig{},
+                                            dcfg);
+  install_metrics(nullptr);
+  EXPECT_EQ(reg.counter("dist.messages"), res.messages);
+  EXPECT_GT(reg.counter("dist.messages"), 0u);
+  EXPECT_EQ(reg.gauge("dist.ranks"), 2.0);
+  EXPECT_EQ(reg.gauge("dist.t_virtual"), res.t_virtual);
+}
+
+}  // namespace
+}  // namespace dgr::obs

@@ -36,6 +36,34 @@ TEST(Runtime, KernelRecordsAccumulate) {
   EXPECT_EQ(rt.record("k2").stream, 1);
 }
 
+TEST(Runtime, ResetCountersKeepsLiveAllocationState) {
+  GpuRuntime rt;
+  rt.device_alloc(100);
+  rt.device_alloc(50);
+  rt.device_free(60);
+  rt.h2d(1000);
+  rt.d2h(500);
+  rt.launch("k", 1, 0, [](OpCounts& c) { c.flops = 10; });
+  EXPECT_EQ(rt.allocated_bytes(), 90u);
+  EXPECT_EQ(rt.peak_bytes(), 150u);
+
+  rt.reset_counters();
+  // Counters cleared: kernel records, transfer bytes.
+  EXPECT_FALSE(rt.has_kernel("k"));
+  EXPECT_TRUE(rt.records().empty());
+  EXPECT_EQ(rt.h2d_bytes(), 0u);
+  EXPECT_EQ(rt.d2h_bytes(), 0u);
+  EXPECT_EQ(rt.transfer_seconds(), 0.0);
+  EXPECT_EQ(rt.modeled_total_seconds(true), 0.0);
+  // Live allocation state untouched; the high-water mark restarts from it.
+  EXPECT_EQ(rt.allocated_bytes(), 90u);
+  EXPECT_EQ(rt.peak_bytes(), 90u);
+
+  // A new high-water mark grows from the surviving allocation.
+  rt.device_alloc(30);
+  EXPECT_EQ(rt.peak_bytes(), 120u);
+}
+
 TEST(Runtime, AsyncStreamExcludedFromCriticalPath) {
   GpuRuntime rt;
   rt.launch("sync", 1, 0, [](OpCounts& c) { c.bytes_read = 1'000'000; });
