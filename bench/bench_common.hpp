@@ -9,12 +9,15 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bssn/initial_data.hpp"
 #include "common/json.hpp"
+#include "common/timer.hpp"
+#include "exec/pool.hpp"
 #include "mesh/mesh.hpp"
 #include "obs/obs.hpp"
 #include "octree/refinement.hpp"
@@ -45,6 +48,13 @@ inline void note(const std::string& text) {
 /// virtual-domain timeline is exported to `BENCH_<name>.trace.json` and
 /// referenced from the bench JSON ("trace" key). Without `--json`,
 /// everything is a no-op and the bench behaves exactly as before.
+///
+/// `--threads N` sizes the host execution pool (exec::set_global_threads,
+/// overriding DGR_THREADS) before the bench body runs. Every report
+/// records `bench.threads` and the bench's end-to-end wall time as
+/// `bench.host_seconds`, so single- vs multi-thread runs of the same bench
+/// are directly comparable; all modeled "ours" values stay bitwise
+/// identical across thread counts (the src/exec determinism contract).
 class Reporter {
  public:
   Reporter(std::string name, int argc, char** argv) : name_(std::move(name)) {
@@ -53,11 +63,15 @@ class Reporter {
         enabled_ = true;
         if (i + 1 < argc && argv[i + 1][0] != '-') out_path_ = argv[i + 1];
       }
+      if (std::string(argv[i]) == "--threads" && i + 1 < argc)
+        exec::ThreadPool::set_global_threads(std::atoi(argv[i + 1]));
     }
     if (enabled_) obs::install_metrics(&metrics_);
   }
 
   ~Reporter() {
+    metric("threads", double(exec::lanes()));
+    metric("host_seconds", wall_.seconds());
     if (obs::metrics() == &metrics_) obs::install_metrics(nullptr);
     if (obs::trace() == trace_.get()) obs::install_trace(nullptr);
     if (enabled_) write();
@@ -166,6 +180,7 @@ class Reporter {
   }
 
   std::string name_, out_path_;
+  WallTimer wall_;
   bool enabled_ = false;
   bool trace_written_ = false;
   std::vector<Pair> pairs_;

@@ -44,6 +44,9 @@ int main(int argc, char** argv) {
     rep.pair(std::string("rk4_speedup_") + cfg.name, 2.5, epyc_s / a100_s,
              "x");
     rep.metric(std::string("a100_s_") + cfg.name, a100_s);
+    // Actual host wall time of the (possibly multi-threaded) sweep — the
+    // number the --threads 1 vs --threads N comparison reads.
+    rep.metric(std::string("host_s_") + cfg.name, host_s);
     std::printf(
         "  %-9s | %-7zu | %-7.1fM | %-8.3f | %-13.3f | %-20.2f | %-7.1f\n",
         cfg.name, m->num_octants(),

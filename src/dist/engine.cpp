@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "exec/parallel.hpp"
 #include "obs/obs.hpp"
 
 namespace dgr::dist {
@@ -51,26 +52,43 @@ BssnState gather_global(SimComm& comm, Cohort& c) {
 ///   post recvs + sends -> interior compute (halo in flight) -> wait ->
 ///   boundary compute. `use_stage` selects the RK stage vector as input;
 ///   `ks` the k-vector written (execute mode).
+/// Run each rank's numeric work concurrently on the host pool (ranks write
+/// only their own state vectors), one rank per chunk.
+template <class Body>
+void ranks_parallel(Cohort& c, const char* label, Body&& body) {
+  exec::parallel_for(
+      0, static_cast<std::int64_t>(c.ranks.size()), /*grain=*/1,
+      [&](std::int64_t rb, std::int64_t re) {
+        for (std::int64_t r = rb; r < re; ++r) body(*c.ranks[r]);
+      },
+      label);
+}
+
 void rhs_eval(SimComm& comm, Cohort& c, const DistConfig& cfg, int tag,
               bool use_stage, int ks) {
+  // Every SimComm operation stays on the driver, sequential in rank order:
+  // the virtual-clock schedule (message injection, advance, delivery) is
+  // bitwise identical to the serial engine. Only the rank-local numeric
+  // compute between comm points runs concurrently — it neither reads nor
+  // writes comm state, so hoisting it ahead of the advance loop is exact.
   for (auto& rc : c.ranks)
     rc->post_exchange(comm, use_stage ? rc->stage() : rc->state(), tag);
-  for (auto& rc : c.ranks) {
-    if (cfg.execute)
-      rc->compute_rhs_interior(use_stage ? rc->stage() : rc->state(),
-                               rc->k(ks));
+  if (cfg.execute)
+    ranks_parallel(c, "dist.interior", [&](RankCtx& rc) {
+      rc.compute_rhs_interior(use_stage ? rc.stage() : rc.state(), rc.k(ks));
+    });
+  for (auto& rc : c.ranks)
     comm.advance(rc->rank(),
                  cfg.sec_per_octant * double(rc->interior_octants()));
-  }
   for (auto& rc : c.ranks)
     rc->finish_exchange(comm, use_stage ? rc->stage() : rc->state());
-  for (auto& rc : c.ranks) {
-    if (cfg.execute)
-      rc->compute_rhs_boundary(use_stage ? rc->stage() : rc->state(),
-                               rc->k(ks));
+  if (cfg.execute)
+    ranks_parallel(c, "dist.boundary", [&](RankCtx& rc) {
+      rc.compute_rhs_boundary(use_stage ? rc.stage() : rc.state(), rc.k(ks));
+    });
+  for (auto& rc : c.ranks)
     comm.advance(rc->rank(),
                  cfg.sec_per_octant * double(rc->boundary_octants()));
-  }
 }
 
 /// One distributed RK4 step — the exact arithmetic of BssnCtx::rk4_step,
@@ -78,21 +96,24 @@ void rhs_eval(SimComm& comm, Cohort& c, const DistConfig& cfg, int tag,
 void rk4_step(SimComm& comm, Cohort& c, const DistConfig& cfg, Real dt,
               int* tag) {
   rhs_eval(comm, c, cfg, (*tag)++, /*use_stage=*/false, 0);
-  for (auto& rc : c.ranks)
-    rc->stage().set_axpy(rc->state(), 0.5 * dt, rc->k(0));
+  ranks_parallel(c, "dist.update", [&](RankCtx& rc) {
+    rc.stage().set_axpy(rc.state(), 0.5 * dt, rc.k(0));
+  });
   rhs_eval(comm, c, cfg, (*tag)++, /*use_stage=*/true, 1);
-  for (auto& rc : c.ranks)
-    rc->stage().set_axpy(rc->state(), 0.5 * dt, rc->k(1));
+  ranks_parallel(c, "dist.update", [&](RankCtx& rc) {
+    rc.stage().set_axpy(rc.state(), 0.5 * dt, rc.k(1));
+  });
   rhs_eval(comm, c, cfg, (*tag)++, /*use_stage=*/true, 2);
-  for (auto& rc : c.ranks)
-    rc->stage().set_axpy(rc->state(), dt, rc->k(2));
+  ranks_parallel(c, "dist.update", [&](RankCtx& rc) {
+    rc.stage().set_axpy(rc.state(), dt, rc.k(2));
+  });
   rhs_eval(comm, c, cfg, (*tag)++, /*use_stage=*/true, 3);
-  for (auto& rc : c.ranks) {
-    rc->state().axpy(dt / 6.0, rc->k(0));
-    rc->state().axpy(dt / 3.0, rc->k(1));
-    rc->state().axpy(dt / 3.0, rc->k(2));
-    rc->state().axpy(dt / 6.0, rc->k(3));
-  }
+  ranks_parallel(c, "dist.update", [&](RankCtx& rc) {
+    rc.state().axpy(dt / 6.0, rc.k(0));
+    rc.state().axpy(dt / 3.0, rc.k(1));
+    rc.state().axpy(dt / 3.0, rc.k(2));
+    rc.state().axpy(dt / 6.0, rc.k(3));
+  });
 }
 
 }  // namespace

@@ -1,0 +1,168 @@
+#pragma once
+/// \file parallel.hpp
+/// \brief Deterministic parallel loops and reductions on the work-stealing
+/// pool (pool.hpp).
+///
+/// Determinism contract. A parallel region partitions [begin, end) into
+/// ceil(n / grain) fixed chunks that depend only on (begin, end, grain) —
+/// never on the thread count or on scheduling. Chunk c always covers
+/// [begin + c*grain, min(end, begin + (c+1)*grain)), and any per-chunk
+/// result lands in slot c. parallel_reduce combines the slots in a fixed
+/// pairwise tree on the calling thread, so floating-point reductions are
+/// bitwise identical at any thread count — the property the solver's
+/// norms, the metrics snapshots, and the modeled kernel times are tested
+/// for at DGR_THREADS = 1, 2, 7. Callers must keep `grain` a constant (or
+/// a function of the problem only) for results to be comparable across
+/// thread counts.
+///
+/// Execution. The calling thread participates: it drains chunks alongside
+/// min(threads - 1, chunks - 1) helper tasks submitted to the pool, then
+/// blocks until every claimed chunk has finished. Nested regions are safe:
+/// a worker opening a region drains it itself while idle workers steal its
+/// helper tasks. With a single-lane pool (or a single chunk) the region
+/// runs inline with zero synchronization. The first exception thrown by a
+/// chunk is rethrown on the caller after the region completes; remaining
+/// chunks are skipped.
+///
+/// Observability: helpers emit one span per region on their per-worker
+/// host-domain trace track ("exec" / "worker N") when a TraceSession is
+/// installed and the region carries a label.
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "exec/pool.hpp"
+#include "obs/obs.hpp"
+
+namespace dgr::exec {
+
+/// Number of fixed chunks a region over [begin, end) with `grain` has.
+inline std::int64_t num_chunks(std::int64_t begin, std::int64_t end,
+                               std::int64_t grain) {
+  if (end <= begin) return 0;
+  if (grain < 1) grain = 1;
+  return (end - begin + grain - 1) / grain;
+}
+
+namespace detail {
+
+struct RegionState {
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> done{0};
+  std::int64_t chunks = 0;
+  std::mutex m;
+  std::condition_variable cv;
+  std::exception_ptr error;  ///< first failure, guarded by m
+  std::atomic<bool> failed{false};
+};
+
+}  // namespace detail
+
+/// Run body(chunk, chunk_begin, chunk_end) for every fixed-grain chunk of
+/// [begin, end), distributed over the global pool. See the determinism
+/// contract above.
+template <class Body>
+void for_each_chunk(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    Body&& body, const char* label = nullptr) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const std::int64_t nc = num_chunks(begin, end, grain);
+  ThreadPool& pool = ThreadPool::global();
+  if (pool.threads() <= 1 || nc == 1) {
+    for (std::int64_t c = 0; c < nc; ++c)
+      body(c, begin + c * grain, std::min(end, begin + (c + 1) * grain));
+    return;
+  }
+
+  auto st = std::make_shared<detail::RegionState>();
+  st->chunks = nc;
+  // The caller outlives the region (it blocks on st->cv below), so helpers
+  // may use this pointer for any chunk they claim; a stale helper that
+  // wakes after the region closed claims no chunk and never touches it.
+  auto* bp = &body;
+
+  const auto drain = [st, begin, end, grain, nc, bp, label](bool helper) {
+    obs::TraceSession* tr = helper ? obs::trace() : nullptr;
+    int track = -1;
+    std::int64_t c;
+    while ((c = st->next.fetch_add(1, std::memory_order_relaxed)) < nc) {
+      if (tr && label && track < 0) {
+        track = tr->worker_track(this_lane());
+        tr->span_begin(track, label, "exec", monotonic_us());
+      }
+      if (!st->failed.load(std::memory_order_relaxed)) {
+        try {
+          (*bp)(c, begin + c * grain, std::min(end, begin + (c + 1) * grain));
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(st->m);
+          if (!st->error) st->error = std::current_exception();
+          st->failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 == nc) {
+        std::lock_guard<std::mutex> lk(st->m);
+        st->cv.notify_all();
+      }
+    }
+    if (track >= 0) tr->span_end(track, monotonic_us());
+  };
+
+  const int helpers =
+      static_cast<int>(std::min<std::int64_t>(pool.threads() - 1, nc - 1));
+  for (int h = 0; h < helpers; ++h) pool.submit([drain] { drain(true); });
+  drain(false);
+  {
+    std::unique_lock<std::mutex> lk(st->m);
+    st->cv.wait(lk, [&] {
+      return st->done.load(std::memory_order_acquire) >= nc;
+    });
+  }
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+/// Run body(range_begin, range_end) over fixed-grain subranges of
+/// [begin, end) in parallel.
+template <class Body>
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  Body&& body, const char* label = nullptr) {
+  for_each_chunk(
+      begin, end, grain,
+      [&](std::int64_t, std::int64_t b, std::int64_t e) { body(b, e); },
+      label);
+}
+
+/// Deterministic reduction: body(range_begin, range_end) -> T per fixed
+/// chunk, combined by join in a fixed pairwise tree over the chunk slots
+/// (bitwise independent of thread count). `identity` seeds empty ranges.
+template <class T, class Body, class Join>
+T parallel_reduce(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  T identity, Body&& body, Join&& join,
+                  const char* label = nullptr) {
+  const std::int64_t nc = num_chunks(begin, end, grain);
+  if (nc == 0) return identity;
+  if (grain < 1) grain = 1;
+  std::vector<T> slot(static_cast<std::size_t>(nc), identity);
+  for_each_chunk(
+      begin, end, grain,
+      [&](std::int64_t c, std::int64_t b, std::int64_t e) {
+        slot[static_cast<std::size_t>(c)] = body(b, e);
+      },
+      label);
+  // Pairwise tree over chunk order: (s0⊕s1)⊕(s2⊕s3)⊕... independent of
+  // which lane produced which slot.
+  for (std::int64_t width = nc; width > 1; width = (width + 1) / 2) {
+    for (std::int64_t i = 0; 2 * i < width; ++i)
+      slot[i] = (2 * i + 1 < width) ? join(slot[2 * i], slot[2 * i + 1])
+                                    : slot[2 * i];
+  }
+  return slot[0];
+}
+
+}  // namespace dgr::exec

@@ -408,12 +408,19 @@ void Mesh::fill_domain_boundary(OctIndex b, Real* patch,
 void Mesh::unzip(const Real* const* fields, int nvar, OctIndex begin,
                  OctIndex end, Real* patches, UnzipMethod method,
                  OpCounts* counts) const {
+  unzip_slice(fields, nvar, 0, nvar, begin, end, patches, method, counts);
+}
+
+void Mesh::unzip_slice(const Real* const* fields, int nvar, int vbegin,
+                       int vend, OctIndex begin, OctIndex end, Real* patches,
+                       UnzipMethod method, OpCounts* counts) const {
   DGR_CHECK(begin >= 0 && end <= static_cast<OctIndex>(num_octants()) &&
             begin <= end);
+  DGR_CHECK(0 <= vbegin && vbegin <= vend && vend <= nvar);
 
   if (method == UnzipMethod::kLoopOverPatches) {
     for (OctIndex b = begin; b < end; ++b)
-      for (int v = 0; v < nvar; ++v) {
+      for (int v = vbegin; v < vend; ++v) {
         Real* patch = patches +
                       (static_cast<std::size_t>(b - begin) * nvar + v) *
                           kPatchPts;
@@ -459,7 +466,7 @@ void Mesh::unzip(const Real* const* fields, int nvar, OctIndex begin,
   std::unordered_map<OctIndex, std::size_t> src_of;
   for (std::size_t s = 0; s < sources.size(); ++s) src_of[sources[s]] = s;
 
-  for (int v = 0; v < nvar; ++v) {
+  for (int v = vbegin; v < vend; ++v) {
     const Real* field = fields[v];
     for (std::size_t s = 0; s < sources.size(); ++s) {
       load_octant(field, sources[s], &u_src[s * kOctPts]);

@@ -107,6 +107,17 @@ class Mesh {
              Real* patches, UnzipMethod method = UnzipMethod::kLoopOverOctants,
              OpCounts* counts = nullptr) const;
 
+  /// Variable slice of unzip: computes only variables [vbegin, vend) into
+  /// the *same* patches layout (full nvar stride, relative to `begin`).
+  /// Per-variable work is independent, so slices over a partition of
+  /// [0, nvar) write disjoint patch regions and their OpCounts sum exactly
+  /// to the full unzip's counts — the property the parallel host pipeline
+  /// (src/exec) relies on for bitwise-stable modeled kernel times.
+  void unzip_slice(const Real* const* fields, int nvar, int vbegin, int vend,
+                   OctIndex begin, OctIndex end, Real* patches,
+                   UnzipMethod method = UnzipMethod::kLoopOverOctants,
+                   OpCounts* counts = nullptr) const;
+
   /// Patch-to-octant for octants [begin, end): copy interior (non-padding)
   /// points of each patch back to the zipped fields. Each DOF is written
   /// only by its owner octant (finest touching octant, SFC-first tie-break),

@@ -10,6 +10,7 @@ namespace dgr::obs {
 std::string MetricsRegistry::json() const {
   using jsonu::num;
   using jsonu::quote;
+  std::lock_guard<std::mutex> lk(m_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [k, v] : counters_) {

@@ -5,10 +5,17 @@
 /// with a deterministic JSON snapshot writer. The solver, the simulated
 /// GPU runtime, and the distributed engine feed a registry installed via
 /// obs::install_metrics(); benches snapshot it into BENCH_<name>.json.
+///
+/// Thread safety: all mutators and scalar readers are guarded by one
+/// internal mutex, so instrumented code may feed the registry from pool
+/// workers (src/exec) concurrently. The by-reference map accessors
+/// (counters()/gauges()/summaries()) are for quiesced use — snapshotting
+/// after a run, not during one.
 
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace dgr::obs {
@@ -25,12 +32,17 @@ class MetricsRegistry {
 
   /// Counter: monotonically increasing by `n`.
   void add(const std::string& name, std::uint64_t n = 1) {
+    std::lock_guard<std::mutex> lk(m_);
     counters_[name] += n;
   }
   /// Gauge: last value wins.
-  void set(const std::string& name, double v) { gauges_[name] = v; }
+  void set(const std::string& name, double v) {
+    std::lock_guard<std::mutex> lk(m_);
+    gauges_[name] = v;
+  }
   /// Summary: record one observation.
   void observe(const std::string& name, double v) {
+    std::lock_guard<std::mutex> lk(m_);
     Summary& s = summaries_[name];
     s.count += 1;
     s.sum += v;
@@ -39,17 +51,22 @@ class MetricsRegistry {
   }
 
   std::uint64_t counter(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(m_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
   }
   bool has_gauge(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(m_);
     return gauges_.count(name) > 0;
   }
   double gauge(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(m_);
     auto it = gauges_.find(name);
     return it == gauges_.end() ? 0.0 : it->second;
   }
+  /// Quiesced use only: the pointer is invalidated by concurrent observe().
   const Summary* summary(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(m_);
     auto it = summaries_.find(name);
     return it == summaries_.end() ? nullptr : &it->second;
   }
@@ -63,9 +80,11 @@ class MetricsRegistry {
   }
 
   bool empty() const {
+    std::lock_guard<std::mutex> lk(m_);
     return counters_.empty() && gauges_.empty() && summaries_.empty();
   }
   void reset() {
+    std::lock_guard<std::mutex> lk(m_);
     counters_.clear();
     gauges_.clear();
     summaries_.clear();
@@ -78,6 +97,7 @@ class MetricsRegistry {
   bool write_file(const std::string& path) const;
 
  private:
+  mutable std::mutex m_;
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, Summary> summaries_;

@@ -9,6 +9,12 @@ namespace dgr::obs {
 
 int TraceSession::add_track(const std::string& process,
                             const std::string& thread, Clock domain) {
+  std::lock_guard<std::mutex> lk(m_);
+  return add_track_locked(process, thread, domain);
+}
+
+int TraceSession::add_track_locked(const std::string& process,
+                                   const std::string& thread, Clock domain) {
   Track t;
   t.process = process;
   t.thread = thread;
@@ -32,8 +38,20 @@ int TraceSession::add_track(const std::string& process,
 }
 
 int TraceSession::host_track() {
-  if (host_track_ < 0) host_track_ = add_track("host", "main", Clock::kHost);
+  std::lock_guard<std::mutex> lk(m_);
+  if (host_track_ < 0)
+    host_track_ = add_track_locked("host", "main", Clock::kHost);
   return host_track_;
+}
+
+int TraceSession::worker_track(int lane) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (lane >= static_cast<int>(worker_tracks_.size()))
+    worker_tracks_.resize(lane + 1, -1);
+  if (worker_tracks_[lane] < 0)
+    worker_tracks_[lane] = add_track_locked(
+        "exec", "worker " + std::to_string(lane), Clock::kHost);
+  return worker_tracks_[lane];
 }
 
 void TraceSession::span_begin(int track, const std::string& name,
@@ -71,6 +89,7 @@ void TraceSession::flow_end(int track, const std::string& name,
 std::string TraceSession::chrome_json(Clock domain) const {
   using jsonu::num;
   using jsonu::quote;
+  std::lock_guard<std::mutex> lk(m_);
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool first = true;
   const auto emit = [&](const std::string& line) {

@@ -21,8 +21,16 @@
 /// serialized in insertion order, one per line, with numbers in shortest
 /// round-trip form — a deterministic input stream yields a byte-identical
 /// trace, which is what the golden-file tests pin down.
+///
+/// Thread safety: every event call and track registration is guarded by an
+/// internal mutex, so pool workers (src/exec) may emit on their own tracks
+/// concurrently. Single-threaded event streams keep a deterministic
+/// insertion order; concurrent streams interleave by arrival (wall time is
+/// nondeterministic anyway). B/E nesting is per track: each worker lane
+/// must emit only on its own worker_track(lane).
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -46,8 +54,18 @@ class TraceSession {
   /// span guards write to.
   int host_track();
 
-  std::size_t num_tracks() const { return tracks_.size(); }
-  Clock track_domain(int track) const { return tracks_[track].domain; }
+  /// The lazily-created host-domain track ("exec"/"worker <lane>") a pool
+  /// worker lane emits its parallel-region spans on (src/exec).
+  int worker_track(int lane);
+
+  std::size_t num_tracks() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return tracks_.size();
+  }
+  Clock track_domain(int track) const {
+    std::lock_guard<std::mutex> lk(m_);
+    return tracks_[track].domain;
+  }
 
   // ------------------------------------------------------------ events --
   // `ts_us` is microseconds in the track's time domain.
@@ -72,9 +90,15 @@ class TraceSession {
                 double ts_us, std::uint64_t id);
 
   /// Fresh process-unique flow id.
-  std::uint64_t next_flow_id() { return ++flow_seq_; }
+  std::uint64_t next_flow_id() {
+    std::lock_guard<std::mutex> lk(m_);
+    return ++flow_seq_;
+  }
 
-  std::size_t event_count() const { return events_.size(); }
+  std::size_t event_count() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return events_.size();
+  }
 
   // ------------------------------------------------------------ export --
   /// Chrome trace-event JSON of all tracks in `domain`: metadata
@@ -102,11 +126,18 @@ class TraceSession {
     Args args;
   };
 
-  void push(Event e) { events_.push_back(std::move(e)); }
+  void push(Event e) {
+    std::lock_guard<std::mutex> lk(m_);
+    events_.push_back(std::move(e));
+  }
+  int add_track_locked(const std::string& process, const std::string& thread,
+                       Clock domain);
 
+  mutable std::mutex m_;
   std::vector<Track> tracks_;
   std::vector<Event> events_;
   std::vector<std::string> processes_;  // pid order (pid = index + 1)
+  std::vector<int> worker_tracks_;      // per lane, -1 until created
   std::uint64_t flow_seq_ = 0;
   int host_track_ = -1;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "exec/parallel.hpp"
 #include "gw/psi4.hpp"
 
 namespace dgr::simgpu {
@@ -49,58 +50,88 @@ void GpuBssnSolver::compute_rhs(const BssnState& u, BssnState& rhs) {
   const auto out = rhs.ptrs();
   const OctIndex n = static_cast<OctIndex>(mesh_->num_octants());
   const Real half = mesh_->domain().half_extent;
+  if (static_cast<int>(ws_.size()) < exec::lanes())
+    ws_.resize(exec::lanes());
 
   // Halo exchange (Algorithm 1 line 6): on a single simulated device the
   // partition is whole, so only the (empty) kernel is recorded.
   runtime_.launch("halo-exchange", 1, 0, [&](OpCounts&) {});
 
+  // Each launch body is data-parallel over the host pool (launch_range).
+  // The split axes are chosen so chunk OpCounts sum exactly to the serial
+  // counts: octant-to-patch splits by VARIABLE (unzip_slice — per-var work
+  // is independent; an octant-range split would re-count shared prolonged
+  // sources), RHS and patch-to-octant split by octant (per-octant work and
+  // per-owner-DOF writes are disjoint).
   for (OctIndex begin = 0; begin < n; begin += config_.chunk_octants) {
     const OctIndex end = std::min<OctIndex>(begin + config_.chunk_octants, n);
 
-    runtime_.launch("octant-to-patch", std::uint64_t(end - begin) * kNumVars,
-                    0, [&](OpCounts& c) {
-                      mesh_->unzip(in.data(), kNumVars, begin, end,
-                                   patch_in_.data(),
-                                   mesh::UnzipMethod::kLoopOverOctants, &c);
-                    });
+    runtime_.launch_range(
+        "octant-to-patch", std::uint64_t(end - begin) * kNumVars, 0, kNumVars,
+        /*grain=*/4, [&](std::int64_t vb, std::int64_t ve, OpCounts& c) {
+          mesh_->unzip_slice(in.data(), kNumVars, static_cast<int>(vb),
+                             static_cast<int>(ve), begin, end,
+                             patch_in_.data(),
+                             mesh::UnzipMethod::kLoopOverOctants, &c);
+        });
 
-    runtime_.launch("bssn-rhs", std::uint64_t(end - begin), 0,
-                    [&](OpCounts& c) {
-                      for (OctIndex e = begin; e < end; ++e) {
-                        const std::size_t base =
-                            std::size_t(e - begin) * kNumVars * kPatchPts;
-                        const Real* pin[kNumVars];
-                        Real* pout[kNumVars];
-                        for (int v = 0; v < kNumVars; ++v) {
-                          pin[v] = &patch_in_[base + v * kPatchPts];
-                          pout[v] = &patch_out_[base + v * kPatchPts];
-                        }
-                        bssn::bssn_rhs_patch(pin, pout, mesh_->patch_geom(e),
-                                             half, config_.bssn, ws_, &c);
-                      }
-                    });
+    runtime_.launch_range(
+        "bssn-rhs", std::uint64_t(end - begin), 0, end - begin,
+        /*grain=*/4, [&](std::int64_t eb, std::int64_t ee, OpCounts& c) {
+          bssn::DerivWorkspace& ws = ws_[exec::this_lane()];
+          for (OctIndex e = begin + static_cast<OctIndex>(eb);
+               e < begin + static_cast<OctIndex>(ee); ++e) {
+            const std::size_t base =
+                std::size_t(e - begin) * kNumVars * kPatchPts;
+            const Real* pin[kNumVars];
+            Real* pout[kNumVars];
+            for (int v = 0; v < kNumVars; ++v) {
+              pin[v] = &patch_in_[base + v * kPatchPts];
+              pout[v] = &patch_out_[base + v * kPatchPts];
+            }
+            bssn::bssn_rhs_patch(pin, pout, mesh_->patch_geom(e), half,
+                                 config_.bssn, ws, &c);
+          }
+        });
 
-    runtime_.launch("patch-to-octant", std::uint64_t(end - begin) * kNumVars,
-                    0, [&](OpCounts& c) {
-                      mesh_->zip(patch_out_.data(), kNumVars, begin, end,
-                                 out.data(), &c);
-                    });
+    runtime_.launch_range(
+        "patch-to-octant", std::uint64_t(end - begin) * kNumVars, 0,
+        end - begin,
+        /*grain=*/8, [&](std::int64_t eb, std::int64_t ee, OpCounts& c) {
+          const OctIndex b = begin + static_cast<OctIndex>(eb);
+          const OctIndex e = begin + static_cast<OctIndex>(ee);
+          mesh_->zip(patch_out_.data() +
+                         std::size_t(eb) * kNumVars * kPatchPts,
+                     kNumVars, b, e, out.data(), &c);
+        });
   }
 }
 
 void GpuBssnSolver::launch_axpy(const char* name, BssnState& y, Real s,
                                 const BssnState& x, bool assign_from_base,
                                 const BssnState* base) {
-  runtime_.launch(name, mesh_->num_dofs(), 0, [&](OpCounts& c) {
-    if (assign_from_base)
-      y.set_axpy(*base, s, x);
-    else
-      y.axpy(s, x);
-    const std::uint64_t n = std::uint64_t(mesh_->num_dofs()) * kNumVars;
-    c.flops += 2 * n;
-    c.bytes_read += 2 * n * sizeof(Real);
-    c.bytes_written += n * sizeof(Real);
-  });
+  // Parallel over variables: each chunk updates whole fields, so writes are
+  // disjoint and the per-element arithmetic is unchanged from the serial
+  // state-level axpy (bitwise-identical results at any thread count).
+  const std::size_t nd = mesh_->num_dofs();
+  runtime_.launch_range(
+      name, nd, 0, kNumVars, /*grain=*/1,
+      [&](std::int64_t vb, std::int64_t ve, OpCounts& c) {
+        for (int v = static_cast<int>(vb); v < static_cast<int>(ve); ++v) {
+          Real* yv = y.field(v);
+          const Real* xv = x.field(v);
+          if (assign_from_base) {
+            const Real* bv = base->field(v);
+            for (std::size_t d = 0; d < nd; ++d) yv[d] = bv[d] + s * xv[d];
+          } else {
+            for (std::size_t d = 0; d < nd; ++d) yv[d] += s * xv[d];
+          }
+        }
+        const std::uint64_t n = std::uint64_t(ve - vb) * nd;
+        c.flops += 2 * n;
+        c.bytes_read += 2 * n * sizeof(Real);
+        c.bytes_written += n * sizeof(Real);
+      });
 }
 
 void GpuBssnSolver::rk4_step(Real dt) {

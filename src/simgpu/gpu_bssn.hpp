@@ -9,6 +9,7 @@
 /// III.
 
 #include <memory>
+#include <vector>
 
 #include "bssn/rhs.hpp"
 #include "bssn/state.hpp"
@@ -62,7 +63,9 @@ class GpuBssnSolver {
   GpuSolverConfig config_;
   GpuRuntime runtime_;
   bssn::BssnState state_, stage_, k_[4];
-  bssn::DerivWorkspace ws_;
+  /// One derivative workspace per pool lane: kernel bodies run on pool
+  /// workers (launch_range) and index this by exec::this_lane().
+  std::vector<bssn::DerivWorkspace> ws_;
   std::vector<Real> patch_in_, patch_out_;
   Real time_ = 0;
 };

@@ -8,18 +8,100 @@
 /// asynchronous wave-extraction path (Algorithm 1) can be excluded from the
 /// critical path.
 
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "common/counters.hpp"
 #include "common/timer.hpp"
+#include "exec/parallel.hpp"
 #include "obs/obs.hpp"
 #include "perf/machine_model.hpp"
 
 namespace dgr::simgpu {
+
+/// Bump allocator for per-launch bookkeeping (the per-chunk OpCounts slots
+/// of launch_range, and any transient buffers a kernel body wants for one
+/// launch). reset() recycles all blocks but keeps their capacity, so a
+/// steady-state launch loop performs zero heap allocations — the property
+/// the scratch-arena test pins down via stats().heap_allocs.
+class ScratchArena {
+ public:
+  struct Stats {
+    std::uint64_t heap_allocs = 0;  ///< blocks obtained from the heap
+    std::uint64_t requests = 0;     ///< get<T>() calls served
+  };
+
+  /// `n` default-constructed T slots, 64-byte aligned (slots written by
+  /// different worker lanes must not share a cache line). Valid until the
+  /// next reset().
+  template <class T>
+  T* get(std::size_t n) {
+    ++stats_.requests;
+    const std::size_t bytes = align_up(n * sizeof(T));
+    unsigned char* p = take(bytes);
+    T* out = reinterpret_cast<T*>(p);
+    for (std::size_t i = 0; i < n; ++i) new (out + i) T();
+    return out;
+  }
+
+  /// Recycle every block (trivially-destructible contents only), keeping
+  /// the capacity already acquired.
+  void reset() {
+    if (blocks_.size() > 1) {
+      // Coalesce so the next cycle is served from one block.
+      std::size_t total = 0;
+      for (const auto& b : blocks_) total += b.size();
+      blocks_.clear();
+      blocks_.emplace_back(total);
+      ++stats_.heap_allocs;
+    }
+    block_ = used_ = 0;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static std::size_t align_up(std::size_t n) { return (n + 63) & ~std::size_t(63); }
+
+  /// First offset >= off whose absolute address is 64-byte aligned (the
+  /// block's base address need not be).
+  static std::size_t aligned_offset(const unsigned char* base,
+                                    std::size_t off) {
+    const auto p = reinterpret_cast<std::uintptr_t>(base) + off;
+    return off + ((64 - (p % 64)) % 64);
+  }
+
+  unsigned char* take(std::size_t bytes) {
+    while (block_ < blocks_.size()) {
+      unsigned char* base = blocks_[block_].data();
+      const std::size_t start = aligned_offset(base, used_);
+      if (start + bytes <= blocks_[block_].size()) {
+        used_ = start + bytes;
+        return base + start;
+      }
+      ++block_;
+      used_ = 0;
+    }
+    blocks_.emplace_back(std::max<std::size_t>(bytes + 64, 4096));
+    ++stats_.heap_allocs;
+    block_ = blocks_.size() - 1;
+    unsigned char* base = blocks_.back().data();
+    const std::size_t start = aligned_offset(base, 0);
+    used_ = start + bytes;
+    return base + start;
+  }
+
+  std::vector<std::vector<unsigned char>> blocks_;
+  std::size_t block_ = 0, used_ = 0;  // bump position
+  Stats stats_;
+};
 
 struct KernelRecord {
   int launches = 0;
@@ -46,19 +128,29 @@ class GpuRuntime {
   const perf::MachineModel& model() const { return model_; }
 
   // ------------------------------------------------- memory accounting --
+  // The byte counters are atomic so kernel bodies running on pool workers
+  // may account transfers concurrently; kernel-launch bookkeeping itself
+  // stays a single-driver operation (see launch/launch_range).
   void device_alloc(std::uint64_t bytes) {
-    allocated_ += bytes;
-    peak_ = std::max(peak_, allocated_);
+    const std::uint64_t now =
+        allocated_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed))
+      ;
   }
   void device_free(std::uint64_t bytes) {
-    allocated_ -= std::min(allocated_, bytes);
+    std::uint64_t cur = allocated_.load(std::memory_order_relaxed);
+    while (!allocated_.compare_exchange_weak(cur, cur - std::min(cur, bytes),
+                                             std::memory_order_relaxed))
+      ;
   }
   void h2d(std::uint64_t bytes) {
-    h2d_bytes_ += bytes;
+    h2d_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     obs::count("gpu.h2d_bytes", bytes);
   }
   void d2h(std::uint64_t bytes) {
-    d2h_bytes_ += bytes;
+    d2h_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     obs::count("gpu.d2h_bytes", bytes);
   }
 
@@ -98,6 +190,51 @@ class GpuRuntime {
       m->add("gpu.kernel." + name + ".bytes", c.bytes_moved());
     }
   }
+
+  /// Execute one kernel launch whose body is data-parallel over [0, n):
+  /// body(i0, i1, OpCounts&) runs for fixed-grain chunks distributed over
+  /// the host pool (src/exec). Per-chunk counts land in arena slots indexed
+  /// by chunk and are merged in chunk order, so the recorded totals and the
+  /// per-launch model input are bitwise identical to a serial launch() that
+  /// does the same work — thread count never leaks into modeled times.
+  /// Chunks of one launch must write disjoint outputs; the launch itself is
+  /// still a single sequential record update on the caller.
+  template <class F>
+  void launch_range(const std::string& name, std::uint64_t blocks, int stream,
+                    std::int64_t n, std::int64_t grain, F&& body) {
+    KernelRecord& rec = records_[name];
+    WallTimer t;
+    scratch_.reset();
+    const std::int64_t nc = exec::num_chunks(0, n, grain);
+    OpCounts* slots = scratch_.get<OpCounts>(static_cast<std::size_t>(nc));
+    {
+      obs::ScopedSpan span(name.c_str(), "kernel");
+      exec::for_each_chunk(
+          0, n, grain,
+          [&](std::int64_t c, std::int64_t b, std::int64_t e) {
+            body(b, e, slots[c]);
+          },
+          name.c_str());
+    }
+    OpCounts c;
+    for (std::int64_t i = 0; i < nc; ++i) c += slots[i];
+    rec.host_seconds += t.seconds();
+    rec.counts += c;
+    rec.per_launch.push_back(c);
+    rec.launches += 1;
+    rec.blocks += blocks;
+    rec.stream = stream;
+    if (obs::MetricsRegistry* m = obs::metrics()) {
+      m->add("gpu.launches");
+      m->add("gpu.flops", c.flops);
+      m->add("gpu.kernel." + name + ".bytes", c.bytes_moved());
+    }
+  }
+
+  /// The per-launch scratch arena (reset at the start of every
+  /// launch_range; see ScratchArena).
+  ScratchArena& scratch() { return scratch_; }
+  const ScratchArena::Stats& scratch_stats() const { return scratch_.stats(); }
 
   bool has_kernel(const std::string& name) const {
     return records_.count(name) > 0;
@@ -148,15 +285,17 @@ class GpuRuntime {
   /// reset* and allocated_bytes() is untouched.
   void reset_counters() {
     records_.clear();
-    h2d_bytes_ = d2h_bytes_ = 0;
-    peak_ = allocated_;
+    h2d_bytes_ = 0;
+    d2h_bytes_ = 0;
+    peak_ = allocated_.load();
   }
 
  private:
   perf::MachineModel model_;
   std::map<std::string, KernelRecord> records_;
-  std::uint64_t allocated_ = 0, peak_ = 0;
-  std::uint64_t h2d_bytes_ = 0, d2h_bytes_ = 0;
+  ScratchArena scratch_;
+  std::atomic<std::uint64_t> allocated_{0}, peak_{0};
+  std::atomic<std::uint64_t> h2d_bytes_{0}, d2h_bytes_{0};
 };
 
 }  // namespace dgr::simgpu

@@ -1,8 +1,10 @@
 #include "solver/bssn_ctx.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/error.hpp"
+#include "exec/parallel.hpp"
 #include "mesh/sampling.hpp"
 
 namespace dgr::solver {
@@ -10,6 +12,62 @@ namespace dgr::solver {
 using bssn::BssnState;
 using bssn::kNumVars;
 using mesh::kPatchPts;
+
+namespace {
+
+/// Run body(b, e, OpCounts&) over fixed-grain chunks of [0, n) on the pool
+/// and fold the per-chunk counts into *counts in chunk order — the same
+/// totals a serial sweep accumulates (integer sums), at any thread count.
+template <class Body>
+void par_counted(std::int64_t n, std::int64_t grain, OpCounts* counts,
+                 const char* label, Body&& body) {
+  const std::int64_t nc = exec::num_chunks(0, n, grain);
+  std::vector<OpCounts> slots(static_cast<std::size_t>(nc));
+  exec::for_each_chunk(
+      0, n, grain,
+      [&](std::int64_t c, std::int64_t b, std::int64_t e) {
+        body(b, e, slots[static_cast<std::size_t>(c)]);
+      },
+      label);
+  if (counts)
+    for (const OpCounts& s : slots) *counts += s;
+}
+
+/// y += s * x over all variables, parallel per variable. Whole fields per
+/// chunk keep writes disjoint and the per-element arithmetic identical to
+/// BssnState::axpy — bitwise-equal results at any thread count.
+void par_axpy(BssnState& y, Real s, const BssnState& x) {
+  const std::size_t nd = y.num_dofs();
+  exec::parallel_for(
+      0, kNumVars, 1,
+      [&](std::int64_t vb, std::int64_t ve) {
+        for (int v = static_cast<int>(vb); v < static_cast<int>(ve); ++v) {
+          Real* yv = y.field(v);
+          const Real* xv = x.field(v);
+          for (std::size_t d = 0; d < nd; ++d) yv[d] += s * xv[d];
+        }
+      },
+      "update");
+}
+
+/// y = a + s * b over all variables, parallel per variable (see par_axpy).
+void par_set_axpy(BssnState& y, const BssnState& a, Real s,
+                  const BssnState& b) {
+  const std::size_t nd = y.num_dofs();
+  exec::parallel_for(
+      0, kNumVars, 1,
+      [&](std::int64_t vb, std::int64_t ve) {
+        for (int v = static_cast<int>(vb); v < static_cast<int>(ve); ++v) {
+          Real* yv = y.field(v);
+          const Real* av = a.field(v);
+          const Real* bv = b.field(v);
+          for (std::size_t d = 0; d < nd; ++d) yv[d] = av[d] + s * bv[d];
+        }
+      },
+      "update");
+}
+
+}  // namespace
 
 RhsPipeline::RhsPipeline(std::shared_ptr<const mesh::Mesh> mesh,
                          SolverConfig config)
@@ -33,7 +91,14 @@ void RhsPipeline::compute(const BssnState& u, BssnState& rhs,
   const auto in = u.cptrs();
   const auto out = rhs.ptrs();
   const Real half = mesh_->domain().half_extent;
+  if (static_cast<int>(ws_.size()) < exec::lanes())
+    ws_.resize(exec::lanes());
 
+  // Each phase of a chunk runs data-parallel on the host pool. Split axes
+  // preserve the serial arithmetic and op counts exactly: unzip splits by
+  // VARIABLE (per-var work is independent; an octant split would re-count
+  // shared prolonged sources), RHS and zip split by octant (disjoint
+  // patches / owner-DOF writes).
   for (const auto& run : runs) {
     DGR_CHECK(run.first >= 0 &&
               run.second <= static_cast<OctIndex>(mesh_->num_octants()));
@@ -43,27 +108,47 @@ void RhsPipeline::compute(const BssnState& u, BssnState& rhs,
           std::min<OctIndex>(begin + config_.chunk_octants, run.second);
 
       if (phases) phases->unzip.start();
-      mesh_->unzip(in.data(), kNumVars, begin, end, patch_in_.data(),
-                   config_.unzip_method, counts);
+      par_counted(kNumVars, /*grain=*/4, counts, "unzip",
+                  [&](std::int64_t vb, std::int64_t ve, OpCounts& c) {
+                    mesh_->unzip_slice(in.data(), kNumVars,
+                                       static_cast<int>(vb),
+                                       static_cast<int>(ve), begin, end,
+                                       patch_in_.data(), config_.unzip_method,
+                                       &c);
+                  });
       if (phases) phases->unzip.stop();
 
       if (phases) phases->rhs.start();
-      for (OctIndex e = begin; e < end; ++e) {
-        const std::size_t base =
-            static_cast<std::size_t>(e - begin) * kNumVars * kPatchPts;
-        const Real* pin[kNumVars];
-        Real* pout[kNumVars];
-        for (int v = 0; v < kNumVars; ++v) {
-          pin[v] = &patch_in_[base + v * kPatchPts];
-          pout[v] = &patch_out_[base + v * kPatchPts];
-        }
-        bssn::bssn_rhs_patch(pin, pout, mesh_->patch_geom(e), half,
-                             config_.bssn, ws_, counts);
-      }
+      par_counted(
+          end - begin, /*grain=*/4, counts, "rhs",
+          [&](std::int64_t eb, std::int64_t ee, OpCounts& c) {
+            bssn::DerivWorkspace& ws = ws_[exec::this_lane()];
+            for (OctIndex e = begin + static_cast<OctIndex>(eb);
+                 e < begin + static_cast<OctIndex>(ee); ++e) {
+              const std::size_t base =
+                  static_cast<std::size_t>(e - begin) * kNumVars * kPatchPts;
+              const Real* pin[kNumVars];
+              Real* pout[kNumVars];
+              for (int v = 0; v < kNumVars; ++v) {
+                pin[v] = &patch_in_[base + v * kPatchPts];
+                pout[v] = &patch_out_[base + v * kPatchPts];
+              }
+              bssn::bssn_rhs_patch(pin, pout, mesh_->patch_geom(e), half,
+                                   config_.bssn, ws, &c);
+            }
+          });
       if (phases) phases->rhs.stop();
 
       if (phases) phases->zip.start();
-      mesh_->zip(patch_out_.data(), kNumVars, begin, end, out.data(), counts);
+      par_counted(end - begin, /*grain=*/8, counts, "zip",
+                  [&](std::int64_t eb, std::int64_t ee, OpCounts& c) {
+                    mesh_->zip(
+                        patch_out_.data() +
+                            static_cast<std::size_t>(eb) * kNumVars *
+                                kPatchPts,
+                        kNumVars, begin + static_cast<OctIndex>(eb),
+                        begin + static_cast<OctIndex>(ee), out.data(), &c);
+                  });
       if (phases) phases->zip.stop();
     }
   }
@@ -93,25 +178,25 @@ void BssnCtx::rk4_step(Real dt) {
   compute_rhs(state_, k_[0]);
 
   phases_.update.start();
-  stage_.set_axpy(state_, 0.5 * dt, k_[0]);
+  par_set_axpy(stage_, state_, 0.5 * dt, k_[0]);
   phases_.update.stop();
   compute_rhs(stage_, k_[1]);
 
   phases_.update.start();
-  stage_.set_axpy(state_, 0.5 * dt, k_[1]);
+  par_set_axpy(stage_, state_, 0.5 * dt, k_[1]);
   phases_.update.stop();
   compute_rhs(stage_, k_[2]);
 
   phases_.update.start();
-  stage_.set_axpy(state_, dt, k_[2]);
+  par_set_axpy(stage_, state_, dt, k_[2]);
   phases_.update.stop();
   compute_rhs(stage_, k_[3]);
 
   phases_.update.start();
-  state_.axpy(dt / 6.0, k_[0]);
-  state_.axpy(dt / 3.0, k_[1]);
-  state_.axpy(dt / 3.0, k_[2]);
-  state_.axpy(dt / 6.0, k_[3]);
+  par_axpy(state_, dt / 6.0, k_[0]);
+  par_axpy(state_, dt / 3.0, k_[1]);
+  par_axpy(state_, dt / 3.0, k_[2]);
+  par_axpy(state_, dt / 6.0, k_[3]);
   phases_.update.stop();
 
   time_ += dt;
@@ -141,14 +226,24 @@ void BssnCtx::remesh(std::shared_ptr<mesh::Mesh> new_mesh) {
 BssnState transfer_state(const mesh::Mesh& src_mesh, const BssnState& src,
                          const mesh::Mesh& dst_mesh) {
   BssnState out(dst_mesh.num_dofs());
-  mesh::PointSampler sampler(src_mesh);
   const auto in = src.cptrs();
-  std::array<Real, kNumVars> vals;
-  for (DofIndex d = 0; d < static_cast<DofIndex>(dst_mesh.num_dofs()); ++d) {
-    const auto x = dst_mesh.dof_position(d);
-    sampler.evaluate_many(in.data(), kNumVars, x[0], x[1], x[2], vals.data());
-    for (int v = 0; v < kNumVars; ++v) out.field(v)[d] = vals[v];
-  }
+  // Parallel over destination DOFs; every DOF is evaluated independently,
+  // so chunking changes nothing but wall time. The sampler caches the last
+  // loaded octant (stateful), so each chunk carries its own instance.
+  exec::parallel_for(
+      0, static_cast<std::int64_t>(dst_mesh.num_dofs()), /*grain=*/512,
+      [&](std::int64_t db, std::int64_t de) {
+        mesh::PointSampler sampler(src_mesh);
+        std::array<Real, kNumVars> vals;
+        for (DofIndex d = static_cast<DofIndex>(db);
+             d < static_cast<DofIndex>(de); ++d) {
+          const auto x = dst_mesh.dof_position(d);
+          sampler.evaluate_many(in.data(), kNumVars, x[0], x[1], x[2],
+                                vals.data());
+          for (int v = 0; v < kNumVars; ++v) out.field(v)[d] = vals[v];
+        }
+      },
+      "transfer");
   return out;
 }
 

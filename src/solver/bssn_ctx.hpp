@@ -73,7 +73,9 @@ class RhsPipeline {
  private:
   std::shared_ptr<const mesh::Mesh> mesh_;
   SolverConfig config_;
-  bssn::DerivWorkspace ws_;
+  /// One derivative workspace per pool lane: the RHS sweep runs on pool
+  /// workers (src/exec) and indexes this by exec::this_lane().
+  std::vector<bssn::DerivWorkspace> ws_;
   std::vector<Real> patch_in_, patch_out_;
 };
 
