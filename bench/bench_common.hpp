@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bssn/initial_data.hpp"
+#include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/timer.hpp"
 #include "exec/pool.hpp"
@@ -63,8 +64,21 @@ class Reporter {
         enabled_ = true;
         if (i + 1 < argc && argv[i + 1][0] != '-') out_path_ = argv[i + 1];
       }
-      if (std::string(argv[i]) == "--threads" && i + 1 < argc)
-        exec::ThreadPool::set_global_threads(std::atoi(argv[i + 1]));
+      if (std::string(argv[i]) == "--threads") {
+        // Strictly validated: "--threads garbage" / "--threads -3" used to
+        // sail through std::atoi as 0 lanes; now they are hard errors.
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: --threads requires a value\n");
+          std::exit(2);
+        }
+        try {
+          exec::ThreadPool::set_global_threads(
+              exec::parse_thread_count(argv[i + 1], "--threads"));
+        } catch (const Error& e) {
+          std::fprintf(stderr, "error: %s\n", e.what());
+          std::exit(2);
+        }
+      }
     }
     if (enabled_) obs::install_metrics(&metrics_);
   }

@@ -1,6 +1,7 @@
 #include "dist/sim_comm.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
@@ -10,14 +11,23 @@ namespace {
 constexpr double kUs = 1e6;  // virtual seconds -> trace microseconds
 }
 
-SimComm::SimComm(int ranks, perf::HierarchicalNetworkModel net)
-    : net_(net), stats_(ranks), mailbox_(ranks) {
-  DGR_CHECK(ranks >= 1);
+SimComm::SimComm(int ranks, perf::HierarchicalNetworkModel net,
+                 FaultPlan* faults, double start_clock, int epoch)
+    : net_(net),
+      stats_(ranks),
+      mailbox_(ranks),
+      faults_(faults),
+      dead_(ranks, false),
+      fail_time_(ranks, 0),
+      reported_(ranks, false) {
+  DGR_CHECK(ranks >= 1 && start_clock >= 0);
+  for (auto& s : stats_) s.clock = start_clock;
   trace_ = obs::trace();
   tracks_.resize(ranks);
   if (trace_) {
     for (int r = 0; r < ranks; ++r) {
-      const std::string proc = "rank " + std::to_string(r);
+      std::string proc = "rank " + std::to_string(r);
+      if (epoch > 0) proc += " (epoch " + std::to_string(epoch) + ")";
       tracks_[r].exec = trace_->add_track(proc, "exec", obs::Clock::kVirtual);
       tracks_[r].halo = trace_->add_track(proc, "halo", obs::Clock::kVirtual);
     }
@@ -41,6 +51,54 @@ std::uint64_t SimComm::total_bytes() const {
   std::uint64_t b = 0;
   for (const auto& m : log_) b += m.bytes;
   return b;
+}
+
+int SimComm::alive_count() const {
+  int n = 0;
+  for (std::size_t r = 0; r < dead_.size(); ++r) n += !dead_[r];
+  return n;
+}
+
+void SimComm::fail_rank(int r, double t) {
+  DGR_CHECK(r >= 0 && r < ranks() && t >= 0);
+  DGR_CHECK_MSG(!dead_[r], "rank already failed");
+  dead_[r] = true;
+  fail_time_[r] = t;
+  if (trace_) trace_->instant(tracks_[r].exec, "rank-failure", "fault", t * kUs);
+}
+
+std::vector<int> SimComm::detect_failures(double heartbeat_period,
+                                          double timeout) {
+  DGR_CHECK(heartbeat_period > 0 && timeout >= 0);
+  std::vector<int> detected;
+  double t_base = 0;
+  for (int r = 0; r < ranks(); ++r)
+    if (!dead_[r]) t_base = std::max(t_base, stats_[r].clock);
+  for (int r = 0; r < ranks(); ++r) {
+    if (!dead_[r] || reported_[r]) continue;
+    reported_[r] = true;
+    detected.push_back(r);
+    t_base = std::max(t_base, fail_time_[r]);
+  }
+  if (detected.empty()) return detected;
+  // Survivors can only notice missing beats once they reach their sync
+  // point (the lockstep engine finishes the interrupted step first): the
+  // first heartbeat slot strictly after `t_base` goes unanswered, and
+  // death is declared `timeout` later — every survivor stalls until then.
+  const double slot =
+      (std::floor(t_base / heartbeat_period) + 1) * heartbeat_period;
+  const double t_detect = slot + timeout;
+  for (int r = 0; r < ranks(); ++r) {
+    if (dead_[r]) continue;
+    RankStats& s = stats_[r];
+    if (t_detect > s.clock) {
+      trace_span(tracks_[r].exec, "failure-detect", "fault", s.clock,
+                 t_detect);
+      s.t_failover += t_detect - s.clock;
+      s.clock = t_detect;
+    }
+  }
+  return detected;
 }
 
 void SimComm::advance(int r, double seconds) {
@@ -79,7 +137,32 @@ SimComm::Request SimComm::isend(int r, int dst, int tag, Payload payload) {
   // Injection serializes on the sender (alpha per message); the payload is
   // deliverable once it has crossed the wire.
   stats_[r].clock += link.alpha;
-  const double t_ready = stats_[r].clock + link.beta * double(bytes);
+  double t_ready = stats_[r].clock + link.beta * double(bytes);
+  if (faults_) {
+    const FaultPlan::MsgFault f = faults_->draw_msg_fault();
+    const FaultConfig& fc = faults_->config();
+    if (f.drops > 0) {
+      // Each lost attempt costs the receiver-side NACK timeout (backing off
+      // per attempt) plus a fresh injection + serialization for the resend.
+      double timeout = fc.retry_timeout;
+      for (int k = 0; k < f.drops; ++k) {
+        t_ready += timeout + link.alpha + link.beta * double(bytes);
+        timeout *= fc.retry_backoff;
+      }
+      stats_[r].retransmits += std::uint64_t(f.drops);
+      obs::count("dist.faults.msg_retransmits", std::uint64_t(f.drops));
+      if (trace_)
+        trace_->instant(tracks_[r].exec, "msg-drop", "fault",
+                        q.t_post * kUs);
+    } else if (f.delayed) {
+      t_ready += (fc.msg_delay_factor - 1.0) * link.beta * double(bytes);
+      stats_[r].msgs_delayed += 1;
+      obs::count("dist.faults.msg_delayed");
+      if (trace_)
+        trace_->instant(tracks_[r].exec, "msg-delay", "fault",
+                        q.t_post * kUs);
+    }
+  }
   stats_[r].msgs_sent += 1;
   stats_[r].bytes_sent += bytes;
   const std::uint64_t seq = log_.size();

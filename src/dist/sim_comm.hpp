@@ -25,11 +25,23 @@
 /// "halo hidden" / "halo exposed" spans) — and every message draws a flow
 /// arrow from its injection on the sender to its delivery on the receiver,
 /// rendering the overlapped schedule directly in Perfetto.
+///
+/// Faults. When a FaultPlan is attached, isend consults it once per message
+/// (deterministic, injection order): a *dropped* attempt is retransmitted
+/// after a receiver-side timeout with exponential backoff (bounded by
+/// max_retries, then forced through — payloads are never lost, only late),
+/// and a *delayed* message pays a multiplied serialization term. Rank
+/// failures are fail-stop: fail_rank(r, t) marks the rank dead as of
+/// virtual time t and stops its heartbeats; detect_failures() realizes the
+/// survivors' failure detector — a rank is declared dead `timeout` after
+/// its first missed heartbeat, and every survivor's clock advances to that
+/// detection instant (charged to RankStats::t_failover).
 
 #include <cstdint>
 #include <vector>
 
 #include "common/types.hpp"
+#include "dist/fault.hpp"
 #include "obs/obs.hpp"
 #include "perf/network.hpp"
 
@@ -50,8 +62,11 @@ struct RankStats {
   double t_comm_exposed = 0;  ///< wait time not covered by compute
   double t_comm_hidden = 0;   ///< comm window overlapped with compute
   double t_collective = 0;    ///< allreduce / allgather time
+  double t_failover = 0;      ///< stall waiting out a peer's heartbeat timeout
   std::uint64_t msgs_sent = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t retransmits = 0;    ///< dropped attempts resent by this rank
+  std::uint64_t msgs_delayed = 0;   ///< messages delivered late by a fault
 };
 
 class SimComm {
@@ -63,7 +78,12 @@ class SimComm {
     std::size_t idx = static_cast<std::size_t>(-1);
   };
 
-  SimComm(int ranks, perf::HierarchicalNetworkModel net);
+  /// `faults` (borrowed, may be null) supplies the per-message fault draws.
+  /// `start_clock` seeds every rank's virtual clock — a recovered epoch
+  /// resumes where detection left off, keeping t_virtual continuous.
+  /// `epoch` labels the trace tracks of post-recovery communicators.
+  SimComm(int ranks, perf::HierarchicalNetworkModel net,
+          FaultPlan* faults = nullptr, double start_clock = 0, int epoch = 0);
 
   int ranks() const { return static_cast<int>(stats_.size()); }
   const perf::HierarchicalNetworkModel& net() const { return net_; }
@@ -73,6 +93,18 @@ class SimComm {
   const std::vector<MsgLog>& log() const { return log_; }
   std::uint64_t total_messages() const { return log_.size(); }
   std::uint64_t total_bytes() const;
+
+  // ------------------------------------------------- failure detection --
+  bool alive(int r) const { return !dead_[r]; }
+  int alive_count() const;
+  /// Fail-stop: rank r dies at virtual time t (its heartbeats cease).
+  void fail_rank(int r, double t);
+  /// Survivor-side failure detector: returns the dead-but-unreported ranks,
+  /// advancing every survivor's clock to the detection instant — the first
+  /// heartbeat slot after the survivors' sync point (max over survivor
+  /// clocks and failure times) goes unanswered, and death is declared
+  /// `timeout` later. The stall is charged to RankStats::t_failover.
+  std::vector<int> detect_failures(double heartbeat_period, double timeout);
 
   /// Rank-local compute for `seconds` of virtual time.
   void advance(int r, double seconds);
@@ -126,6 +158,11 @@ class SimComm {
   std::vector<std::vector<Pending>> mailbox_;  // per destination rank
   std::vector<Req> reqs_;
   std::vector<MsgLog> log_;
+
+  FaultPlan* faults_ = nullptr;  ///< borrowed; may be null
+  std::vector<bool> dead_;
+  std::vector<double> fail_time_;  ///< valid where dead_
+  std::vector<bool> reported_;     ///< death surfaced by detect_failures
 
   obs::TraceSession* trace_ = nullptr;  ///< borrowed; set at construction
   struct RankTracks {

@@ -1,8 +1,24 @@
 #include "exec/pool.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 
+#include "common/error.hpp"
+
 namespace dgr::exec {
+
+int parse_thread_count(const char* s, const char* what) {
+  DGR_CHECK_MSG(s != nullptr && *s != '\0',
+                what << " expects a positive integer, got an empty value");
+  errno = 0;
+  char* end = nullptr;
+  const long n = std::strtol(s, &end, 10);
+  DGR_CHECK_MSG(errno == 0 && end != s && *end == '\0',
+                what << " expects a positive integer, got \"" << s << "\"");
+  DGR_CHECK_MSG(n >= 1 && n <= 4096,
+                what << " must be in [1, 4096], got " << n);
+  return static_cast<int>(n);
+}
 
 namespace {
 thread_local int tl_lane = 0;
@@ -109,10 +125,8 @@ void ThreadPool::set_global_threads(int threads) {
 }
 
 int ThreadPool::configured_threads() {
-  if (const char* e = std::getenv("DGR_THREADS")) {
-    const int n = std::atoi(e);
-    if (n >= 1) return n;
-  }
+  if (const char* e = std::getenv("DGR_THREADS"))
+    return parse_thread_count(e, "DGR_THREADS");
   const unsigned hw = std::thread::hardware_concurrency();
   return hw ? static_cast<int>(hw) : 1;
 }

@@ -98,19 +98,29 @@ std::string TraceSession::chrome_json(Clock domain) const {
     first = false;
   };
 
+  // Exported pids are renumbered in first-seen order among THIS domain's
+  // tracks: lazily created tracks of the other domain (e.g. per-worker host
+  // rows, whose creation order depends on the thread count) must not shift
+  // the numbering — the virtual-domain export is byte-identical across
+  // thread counts, part of the determinism contract.
+  std::vector<int> pid_map(processes_.size() + 1, 0);
+  int next_pid = 0;
+  for (const Track& t : tracks_)
+    if (t.domain == domain && pid_map[t.pid] == 0) pid_map[t.pid] = ++next_pid;
+
   // Metadata: name every process and thread of the exported domain once.
   std::vector<bool> pid_named(processes_.size() + 1, false);
   for (const Track& t : tracks_) {
     if (t.domain != domain) continue;
     if (!pid_named[t.pid]) {
-      emit("{\"ph\":\"M\",\"pid\":" + num(t.pid) +
+      emit("{\"ph\":\"M\",\"pid\":" + num(pid_map[t.pid]) +
            ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":" +
            quote(t.process) + "}}");
       pid_named[t.pid] = true;
     }
-    emit("{\"ph\":\"M\",\"pid\":" + num(t.pid) + ",\"tid\":" + num(t.tid) +
-         ",\"name\":\"thread_name\",\"args\":{\"name\":" + quote(t.thread) +
-         "}}");
+    emit("{\"ph\":\"M\",\"pid\":" + num(pid_map[t.pid]) + ",\"tid\":" +
+         num(t.tid) + ",\"name\":\"thread_name\",\"args\":{\"name\":" +
+         quote(t.thread) + "}}");
   }
 
   for (const Event& e : events_) {
@@ -118,7 +128,7 @@ std::string TraceSession::chrome_json(Clock domain) const {
     if (t.domain != domain) continue;
     std::string line = "{\"ph\":\"";
     line += e.ph;
-    line += "\",\"pid\":" + num(t.pid) + ",\"tid\":" + num(t.tid) +
+    line += "\",\"pid\":" + num(pid_map[t.pid]) + ",\"tid\":" + num(t.tid) +
             ",\"ts\":" + num(e.ts);
     if (e.ph != 'E') line += ",\"name\":" + quote(e.name);
     if (!e.cat.empty()) line += ",\"cat\":" + quote(e.cat);

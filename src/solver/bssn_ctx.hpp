@@ -121,6 +121,16 @@ class BssnCtx {
   /// the new mesh by degree-6 interpolation.
   void remesh(std::shared_ptr<mesh::Mesh> new_mesh);
 
+  /// Restart support: overwrite the clock and step counter when resuming
+  /// from a checkpoint (the state itself is restored through state(), on a
+  /// context built over solver::checkpoint_mesh). Evolution resumed this
+  /// way is bitwise identical to the uninterrupted run — the round-trip
+  /// determinism contract of the checkpoint tests.
+  void restore(Real time, std::size_t steps) {
+    time_ = time;
+    steps_ = steps;
+  }
+
  private:
   std::shared_ptr<mesh::Mesh> mesh_;
   SolverConfig config_;

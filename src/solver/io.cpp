@@ -26,31 +26,55 @@ void save_checkpoint(const std::string& path, const mesh::Mesh& mesh,
                      const bssn::BssnState& state, Real time,
                      std::uint64_t step) {
   DGR_CHECK(state.num_dofs() == mesh.num_dofs());
-  std::ofstream os(path, std::ios::binary);
-  DGR_CHECK_MSG(bool(os), "cannot open checkpoint for writing: " + path);
-  put(os, kMagic);
-  put(os, kVersion);
-  put(os, mesh.domain().half_extent);
-  put(os, time);
-  put(os, step);
-  const auto& leaves = mesh.tree().leaves();
-  put(os, std::uint64_t(leaves.size()));
-  for (const auto& t : leaves) {
-    put(os, t.x);
-    put(os, t.y);
-    put(os, t.z);
-    put(os, t.level);
+  // Write-to-temp + rename: `path` either keeps its previous (good) content
+  // or atomically becomes the complete new checkpoint — never a torn write.
+  const std::string tmp = path + ".tmp";
+  try {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    DGR_CHECK_MSG(bool(os), "cannot open checkpoint for writing: " + tmp);
+    put(os, kMagic);
+    put(os, kVersion);
+    put(os, mesh.domain().half_extent);
+    put(os, time);
+    put(os, step);
+    const auto& leaves = mesh.tree().leaves();
+    put(os, std::uint64_t(leaves.size()));
+    for (const auto& t : leaves) {
+      put(os, t.x);
+      put(os, t.y);
+      put(os, t.z);
+      put(os, t.level);
+    }
+    put(os, std::uint64_t(mesh.num_dofs()));
+    for (int v = 0; v < bssn::kNumVars; ++v)
+      os.write(reinterpret_cast<const char*>(state.field(v)),
+               mesh.num_dofs() * sizeof(Real));
+    os.flush();
+    DGR_CHECK_MSG(bool(os), "checkpoint write failed: " + tmp);
+    os.close();
+    DGR_CHECK_MSG(!os.fail(), "checkpoint close failed: " + tmp);
+    DGR_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                  "cannot move checkpoint into place: " + tmp + " -> " + path);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
   }
-  put(os, std::uint64_t(mesh.num_dofs()));
-  for (int v = 0; v < bssn::kNumVars; ++v)
-    os.write(reinterpret_cast<const char*>(state.field(v)),
-             mesh.num_dofs() * sizeof(Real));
-  DGR_CHECK_MSG(bool(os), "checkpoint write failed: " + path);
 }
 
 Checkpoint load_checkpoint(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   DGR_CHECK_MSG(bool(is), "cannot open checkpoint: " + path);
+  // Total file size up front: every variable-length section is checked
+  // against the bytes actually present before it is read (or allocated), so
+  // a truncated or garbage file fails cleanly instead of driving a huge
+  // resize/reserve or returning a partially-populated checkpoint.
+  is.seekg(0, std::ios::end);
+  const std::uint64_t file_size = std::uint64_t(is.tellg());
+  is.seekg(0, std::ios::beg);
+  const auto remaining = [&]() -> std::uint64_t {
+    return file_size - std::uint64_t(is.tellg());
+  };
+
   std::uint64_t magic;
   std::uint32_t version;
   get(is, magic);
@@ -64,6 +88,10 @@ Checkpoint load_checkpoint(const std::string& path) {
   get(is, cp.step);
   std::uint64_t nleaves;
   get(is, nleaves);
+  constexpr std::uint64_t kLeafBytes = 3 * sizeof(oct::Coord) + 1;
+  DGR_CHECK_MSG(nleaves >= 1 && nleaves <= remaining() / kLeafBytes,
+                "corrupt checkpoint: leaf table (" << nleaves
+                    << " octants) exceeds file size: " + path);
   std::vector<oct::TreeNode> leaves;
   leaves.reserve(nleaves);
   for (std::uint64_t i = 0; i < nleaves; ++i) {
@@ -79,13 +107,31 @@ Checkpoint load_checkpoint(const std::string& path) {
 
   std::uint64_t ndofs;
   get(is, ndofs);
+  // The field payload must account for every remaining byte — catches
+  // truncation and trailing garbage in one check, before the allocation.
+  constexpr std::uint64_t kDofBytes = std::uint64_t(bssn::kNumVars) * sizeof(Real);
+  DGR_CHECK_MSG(
+      ndofs >= 1 && ndofs <= remaining() / kDofBytes &&
+          ndofs * kDofBytes == remaining(),
+      "corrupt checkpoint: field payload (" << ndofs
+          << " dofs x " << bssn::kNumVars
+          << " vars) does not match file size: " + path);
   cp.state.resize(ndofs);
   for (int v = 0; v < bssn::kNumVars; ++v) {
     is.read(reinterpret_cast<char*>(cp.state.field(v)),
             ndofs * sizeof(Real));
-    DGR_CHECK_MSG(bool(is), "truncated checkpoint fields");
+    DGR_CHECK_MSG(bool(is) && std::uint64_t(is.gcount()) == ndofs * sizeof(Real),
+                  "truncated checkpoint fields: " + path);
   }
   return cp;
+}
+
+std::shared_ptr<mesh::Mesh> checkpoint_mesh(const Checkpoint& cp) {
+  auto m = std::make_shared<mesh::Mesh>(cp.tree, cp.domain);
+  DGR_CHECK_MSG(cp.state.num_dofs() == m->num_dofs(),
+                "checkpoint fields inconsistent with its octree: "
+                    << cp.state.num_dofs() << " dofs vs " << m->num_dofs());
+  return m;
 }
 
 void write_vtk_points(const std::string& path, const mesh::Mesh& mesh,

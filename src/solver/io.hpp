@@ -6,6 +6,7 @@
 /// all 24 zipped fields in a versioned binary format. VTK legacy output
 /// (point cloud with per-DOF scalars) loads directly in ParaView/VisIt.
 
+#include <memory>
 #include <string>
 
 #include "bssn/state.hpp"
@@ -21,14 +22,27 @@ struct Checkpoint {
   bssn::BssnState state;
 };
 
-/// Write a checkpoint; throws dgr::Error on I/O failure.
+/// Write a checkpoint; throws dgr::Error on I/O failure. The write is
+/// atomic-by-rename: the payload goes to `<path>.tmp` first, is flushed and
+/// checked, then renamed into place — a crash or error mid-write can never
+/// corrupt or truncate an existing good checkpoint at `path` (the temp file
+/// is removed on failure).
 void save_checkpoint(const std::string& path, const mesh::Mesh& mesh,
                      const bssn::BssnState& state, Real time,
                      std::uint64_t step);
 
 /// Read a checkpoint written by save_checkpoint; validates magic, version,
-/// and structural consistency (field sizes vs the rebuilt mesh).
+/// and structural consistency. Truncated or garbage files fail with a
+/// clean dgr::Error before any oversized allocation or partial state can
+/// escape: the leaf table and field payload sizes are checked against the
+/// actual file size before reading them.
 Checkpoint load_checkpoint(const std::string& path);
+
+/// Rebuild the mesh a checkpoint was taken on (deterministic from the
+/// stored tree + domain) and cross-check the stored field sizes against it;
+/// throws dgr::Error on mismatch. This is the restart entry point: the
+/// returned mesh carries the exact DOF layout the fields were saved in.
+std::shared_ptr<mesh::Mesh> checkpoint_mesh(const Checkpoint& cp);
 
 /// Write selected variables of a zipped state as a legacy-VTK point cloud
 /// (POINTS + POINT_DATA scalars), one scalar array per variable.

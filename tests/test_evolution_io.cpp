@@ -7,8 +7,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <memory>
+#include <vector>
 
 #include "bssn/initial_data.hpp"
 #include "gw/strain.hpp"
@@ -114,6 +118,153 @@ TEST(Checkpoint, RejectsCorruptFiles) {
   EXPECT_THROW(load_checkpoint(path), Error);
   EXPECT_THROW(load_checkpoint("/nonexistent/nope.bin"), Error);
   std::remove(path.c_str());
+}
+
+/// The checkpoint round-trip restart contract: evolving N steps, saving,
+/// restoring into a fresh context, and evolving M more is bitwise
+/// identical — state, clock, step counter, and Psi4 series — to the
+/// uninterrupted run.
+TEST(Checkpoint, RestartResumesBitwise) {
+  auto m = small_puncture_mesh();
+  SolverConfig scfg;
+  scfg.bssn.ko_sigma = 0.3;
+  BssnCtx ctx(m, scfg);
+  bssn::set_punctures(*m, {{1.0, {0.05, 0.03, 0.02}, {0, 0, 0}, {0, 0, 0}}},
+                      ctx.state());
+  const Real dt = ctx.suggested_dt();
+  EvolutionConfig seg1;
+  seg1.t_end = 3.2 * dt;
+  seg1.regrid_every = 4;
+  seg1.regrid.eps = 2e-3;
+  seg1.regrid.min_level = 2;
+  seg1.regrid.max_level = 3;  // keep dt constant across the regrid
+  evolve(ctx, seg1, nullptr);
+
+  const std::string path = "/tmp/dgr_test_restart_cp.bin";
+  save_checkpoint(path, ctx.mesh(), ctx.state(), ctx.time(),
+                  ctx.steps_taken());
+
+  EvolutionConfig seg2 = seg1;
+  seg2.t_end = 6.4 * dt;
+  seg2.extraction_radii = {5.0};
+  seg2.extract_every = 1;
+  const auto ref = evolve(ctx, seg2, nullptr);
+  ASSERT_GE(ref.steps, 3);
+
+  const Checkpoint cp = load_checkpoint(path);
+  auto rm = checkpoint_mesh(cp);
+  BssnCtx restored(rm, scfg);
+  restored.state() = cp.state;
+  restored.restore(cp.time, cp.step);
+  const auto res = evolve(restored, seg2, nullptr);
+
+  EXPECT_EQ(res.steps, ref.steps);
+  EXPECT_EQ(restored.time(), ctx.time());
+  EXPECT_EQ(restored.steps_taken(), ctx.steps_taken());
+  ASSERT_EQ(restored.state().num_dofs(), ctx.state().num_dofs());
+  EXPECT_EQ(restored.state().max_abs_diff(ctx.state()), 0.0);
+  ASSERT_EQ(res.waves22.size(), ref.waves22.size());
+  ASSERT_EQ(res.waves22[0].times.size(), ref.waves22[0].times.size());
+  for (std::size_t i = 0; i < ref.waves22[0].times.size(); ++i) {
+    EXPECT_EQ(res.waves22[0].times[i], ref.waves22[0].times[i]) << i;
+    EXPECT_EQ(res.waves22[0].values[i], ref.waves22[0].values[i]) << i;
+  }
+  std::remove(path.c_str());
+}
+
+/// Truncating a valid checkpoint at any section boundary (or mid-section)
+/// must throw a clean Error, never return a partial Checkpoint or drive an
+/// absurd allocation.
+TEST(Checkpoint, TruncatedFilesThrowCleanly) {
+  auto m = small_puncture_mesh();
+  bssn::BssnState s;
+  bssn::set_punctures(*m, {{1.0, {0.05, 0.03, 0.02}, {0, 0, 0}, {0, 0, 0}}},
+                      s);
+  const std::string path = "/tmp/dgr_test_trunc_src.bin";
+  save_checkpoint(path, *m, s, 1.5, 7);
+  std::ifstream is(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(is)),
+                          std::istreambuf_iterator<char>());
+  is.close();
+  ASSERT_GT(bytes.size(), 100u);
+
+  const std::string cut = "/tmp/dgr_test_trunc_cut.bin";
+  // Mid-magic, mid-header, mid-leaf-table, mid-fields, one byte short.
+  for (std::size_t n : {std::size_t(4), std::size_t(20), std::size_t(60),
+                        bytes.size() / 2, bytes.size() - 1}) {
+    std::ofstream os(cut, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), std::streamsize(n));
+    os.close();
+    EXPECT_THROW(load_checkpoint(cut), Error) << "truncated at " << n;
+  }
+  // An empty file must fail too (size probe reads nothing).
+  { std::ofstream os(cut, std::ios::binary | std::ios::trunc); }
+  EXPECT_THROW(load_checkpoint(cut), Error);
+  std::remove(cut.c_str());
+  std::remove(path.c_str());
+}
+
+/// Garbage section counts (huge leaf/dof counts, trailing junk) are caught
+/// by the size sanity checks before any allocation or partial read.
+TEST(Checkpoint, GarbageCountsAndTrailingJunkThrow) {
+  auto m = small_puncture_mesh();
+  bssn::BssnState s;
+  bssn::set_punctures(*m, {{1.0, {0.05, 0.03, 0.02}, {0, 0, 0}, {0, 0, 0}}},
+                      s);
+  const std::string path = "/tmp/dgr_test_garbage_cp.bin";
+  save_checkpoint(path, *m, s, 0.0, 0);
+  std::ifstream is(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(is)),
+                          std::istreambuf_iterator<char>());
+  is.close();
+
+  const auto dump = [&](const std::vector<char>& b) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(b.data(), std::streamsize(b.size()));
+  };
+  // nleaves lives right after magic+version+domain+time+step = 36 bytes.
+  const std::size_t nleaves_off = 8 + 4 + 8 + 8 + 8;
+  auto evil = bytes;
+  const std::uint64_t huge = ~std::uint64_t(0) / 2;
+  std::memcpy(evil.data() + nleaves_off, &huge, sizeof huge);
+  dump(evil);
+  EXPECT_THROW(load_checkpoint(path), Error);
+  // ndofs follows the leaf table (13 bytes per leaf).
+  const std::size_t ndofs_off =
+      nleaves_off + 8 + m->tree().leaves().size() * 13;
+  evil = bytes;
+  std::memcpy(evil.data() + ndofs_off, &huge, sizeof huge);
+  dump(evil);
+  EXPECT_THROW(load_checkpoint(path), Error);
+  // Trailing junk: the field payload no longer accounts for the file tail.
+  evil = bytes;
+  evil.insert(evil.end(), 16, char(0xAB));
+  dump(evil);
+  EXPECT_THROW(load_checkpoint(path), Error);
+  std::remove(path.c_str());
+}
+
+/// save_checkpoint is atomic: success leaves no .tmp behind, and a failed
+/// rename cleans up its temp file instead of leaking it.
+TEST(Checkpoint, AtomicSaveCleansUpTempFile) {
+  auto m = small_puncture_mesh();
+  bssn::BssnState s;
+  bssn::set_punctures(*m, {{1.0, {0.05, 0.03, 0.02}, {0, 0, 0}, {0, 0, 0}}},
+                      s);
+  const std::string ok = "/tmp/dgr_test_atomic_cp.bin";
+  save_checkpoint(ok, *m, s, 0.0, 0);
+  EXPECT_TRUE(bool(std::ifstream(ok)));
+  EXPECT_FALSE(bool(std::ifstream(ok + ".tmp")));
+
+  // Target is a non-empty directory: the temp write succeeds but the
+  // rename cannot — the temp must be removed on the error path.
+  const std::string dir = "/tmp/dgr_test_atomic_cp_dir";
+  std::filesystem::create_directory(dir);
+  std::ofstream(dir + "/occupant") << "x";
+  EXPECT_THROW(save_checkpoint(dir, *m, s, 0.0, 0), Error);
+  EXPECT_FALSE(bool(std::ifstream(dir + ".tmp")));
+  std::filesystem::remove_all(dir);
+  std::remove(ok.c_str());
 }
 
 TEST(Vtk, WritesLoadableLegacyFile) {

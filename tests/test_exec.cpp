@@ -10,7 +10,10 @@
 #include <cstring>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "common/error.hpp"
 
 #include "exec/parallel.hpp"
 #include "exec/pool.hpp"
@@ -207,6 +210,26 @@ TEST(Runtime, SteadyStateLaunchesDoNotAllocate) {
   EXPECT_EQ(rt.record("k").launches, 52);
   EXPECT_EQ(rt.record("k").counts.flops, 52u * 512u);
   exec::ThreadPool::set_global_threads(1);
+}
+
+/// The strict thread-count parse behind DGR_THREADS and --threads: the old
+/// std::atoi path silently turned garbage into 0 lanes.
+TEST(Pool, ParseThreadCountValidates) {
+  EXPECT_EQ(exec::parse_thread_count("1", "t"), 1);
+  EXPECT_EQ(exec::parse_thread_count("4", "t"), 4);
+  EXPECT_EQ(exec::parse_thread_count("4096", "t"), 4096);
+  for (const char* bad :
+       {"garbage", "-3", "0", "4x", "", " 4 ", "1e3", "4097", "99999999999"}) {
+    EXPECT_THROW(exec::parse_thread_count(bad, "t"), Error) << bad;
+  }
+  EXPECT_THROW(exec::parse_thread_count(nullptr, "t"), Error);
+  // The error message names the offending knob.
+  try {
+    exec::parse_thread_count("nope", "DGR_THREADS");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("DGR_THREADS"), std::string::npos);
+  }
 }
 
 }  // namespace
