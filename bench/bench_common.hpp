@@ -22,6 +22,7 @@
 #include "mesh/mesh.hpp"
 #include "obs/obs.hpp"
 #include "octree/refinement.hpp"
+#include "simd/simd.hpp"
 #include "solver/bssn_ctx.hpp"
 
 namespace dgr::bench {
@@ -81,10 +82,13 @@ class Reporter {
       }
     }
     if (enabled_) obs::install_metrics(&metrics_);
+    std::printf("  [simd] width=%d (%s), flags: %s\n", simd_active_width(),
+                simd_backend_name(simd_active_width()), simd_march());
   }
 
   ~Reporter() {
     metric("threads", double(exec::lanes()));
+    metric("simd_width", double(simd_active_width()));
     metric("host_seconds", wall_.seconds());
     if (obs::metrics() == &metrics_) obs::install_metrics(nullptr);
     if (obs::trace() == trace_.get()) obs::install_trace(nullptr);
@@ -150,6 +154,13 @@ class Reporter {
     using jsonu::quote;
     std::string out = "{\"schema\":\"dgr-bench-v1\",\"bench\":";
     out += quote(name_);
+    // SIMD provenance preamble: which vector width the run dispatched to
+    // (DGR_SIMD env override included) and the flags the binary was built
+    // with — two runs of the same bench are only comparable when these
+    // match, so they ride in every report.
+    out += ",\"simd_width\":" + num(double(simd_active_width()));
+    out += ",\"simd_backend\":" + quote(simd_backend_name(simd_active_width()));
+    out += ",\"march\":" + quote(simd_march());
     out += ",\"pairs\":[";
     bool first = true;
     for (const Pair& p : pairs_) {

@@ -1,0 +1,216 @@
+#include "codegen/fused_rhs.hpp"
+
+#include <cmath>
+
+#include "codegen/bssn_graph.hpp"
+#include "fd/stencils_point.hpp"
+#include "simd/simd.hpp"
+
+namespace dgr::codegen {
+
+using bssn::kNumVars;
+using bssn::kSecondDerivVars;
+using mesh::kPad;
+using mesh::kPatch;
+using mesh::kPatchPts;
+using mesh::kR;
+using mesh::patch_idx;
+
+namespace {
+
+constexpr int kOct = kR * kR * kR;  // interior points per patch
+
+/// Evaluate every algebra input for W consecutive x-points starting at
+/// patch index p, and store the first `store_n` lanes at SoA column `col`.
+/// A chunk may extend past the interior row end (lanes beyond store_n are
+/// computed from in-bounds padding data and discarded), which keeps the
+/// 7-point rows fully vectorized as one whole + one partial pack.
+template <int W>
+void gather_chunk(const Real* const in[kNumVars], FusedWorkspace& ws, int p,
+                  int col, int store_n, Real inv_h, Real inv_h2,
+                  Real chi_floor) {
+  using P = dgr::simd<Real, W>;
+  using namespace bssn;
+  const AlgebraInputIndex& L = algebra_input_index();
+  Real* soa = ws.in_soa.data();
+  auto put = [&](int slot, const P& v) {
+    v.store_partial(soa + std::size_t(slot) * kOct + col, store_n);
+  };
+
+  // Field values. The chi floor uses max(floor, chi): with maxpd semantics
+  // (a > b ? a : b) this is lanewise bitwise-equal to std::max(chi, floor).
+  put(L.idx.a, P::load(in[kAlpha] + p));
+  put(L.idx.ch, max(P::broadcast(chi_floor), P::load(in[kChi] + p)));
+  put(L.idx.Kt, P::load(in[kK] + p));
+  for (int i = 0; i < 3; ++i) {
+    put(L.idx.Gt[i], P::load(in[kGt0 + i] + p));
+    put(L.idx.bet[i], P::load(in[kBeta0 + i] + p));
+    put(L.idx.Bv[i], P::load(in[kB0 + i] + p));
+  }
+  for (int s = 0; s < 6; ++s) {
+    put(L.idx.gt[s], P::load(in[kGtxx + s] + p));
+    put(L.idx.At[s], P::load(in[kAtxx + s] + p));
+  }
+
+  // First derivatives: fused centered stencils, no intermediate arrays.
+  for (int ax = 0; ax < 3; ++ax) {
+    put(L.idx.d_a[ax], fd::d1_point<P>(in[kAlpha], p, ax, inv_h));
+    put(L.idx.d_ch[ax], fd::d1_point<P>(in[kChi], p, ax, inv_h));
+    put(L.idx.d_K[ax], fd::d1_point<P>(in[kK], p, ax, inv_h));
+    for (int i = 0; i < 3; ++i) {
+      put(L.idx.d_b[i][ax], fd::d1_point<P>(in[kBeta0 + i], p, ax, inv_h));
+      put(L.idx.d_Gt[i][ax], fd::d1_point<P>(in[kGt0 + i], p, ax, inv_h));
+    }
+    for (int s = 0; s < 6; ++s) {
+      put(L.idx.d_gt[s][ax], fd::d1_point<P>(in[kGtxx + s], p, ax, inv_h));
+      put(L.idx.d_At[s][ax], fd::d1_point<P>(in[kAtxx + s], p, ax, inv_h));
+    }
+  }
+
+  // Second derivatives. Diagonals are fused d2 stencils; mixed components
+  // contract the outer d1 stencil over the precomputed inner d1 sweep
+  // (sym slots: (0,1)->1 outer y over d/dx, (0,2)->2 outer z over d/dx,
+  // (1,2)->4 outer z over d/dy), matching fd::d2_mixed's sweep order.
+  for (int s = 0; s < static_cast<int>(kSecondDerivVars.size()); ++s) {
+    const int v = kSecondDerivVars[s];
+    const int* dd = s == 0   ? L.idx.dd_a
+                    : s <= 3 ? L.idx.dd_b[s - 1]
+                    : s == 4 ? L.idx.dd_ch
+                             : L.idx.dd_gt[s - 5];
+    put(dd[sym_idx(0, 0)], fd::d2_point<P>(in[v], p, 0, inv_h2));
+    put(dd[sym_idx(1, 1)], fd::d2_point<P>(in[v], p, 1, inv_h2));
+    put(dd[sym_idx(2, 2)], fd::d2_point<P>(in[v], p, 2, inv_h2));
+    const Real* dx = ws.inner_of(s, 0);
+    const Real* dy = ws.inner_of(s, 1);
+    put(dd[sym_idx(0, 1)], fd::d1_point<P>(dx, p, 1, inv_h));
+    put(dd[sym_idx(0, 2)], fd::d1_point<P>(dx, p, 2, inv_h));
+    put(dd[sym_idx(1, 2)], fd::d1_point<P>(dy, p, 2, inv_h));
+  }
+
+  // Advective terms (upwind stencil selected lanewise by the shift's sign)
+  // and KO dissipation (unit sigma, as in the derivative stage).
+  P bet[3];
+  for (int ax = 0; ax < 3; ++ax) bet[ax] = P::load(in[kBeta0 + ax] + p);
+  for (int v = 0; v < kNumVars; ++v) {
+    P adv = P::zero();
+    for (int ax = 0; ax < 3; ++ax)
+      adv = adv + bet[ax] * fd::upwind_point<P>(in[v], bet[ax], p, ax, inv_h);
+    put(L.idx.ad[v], adv);
+    put(L.idx.ko[v], fd::ko_point<P>(in[v], p, inv_h));
+  }
+}
+
+}  // namespace
+
+FusedWorkspace::FusedWorkspace()
+    : inner_d1(static_cast<std::size_t>(kSecondDerivVars.size()) * 2 *
+               kPatchPts),
+      in_soa(static_cast<std::size_t>(bssn_algebra_num_inputs()) * kOct),
+      out_soa(static_cast<std::size_t>(kNumVars) * kOct) {}
+
+void bssn_rhs_patch_fused(const Real* const in[kNumVars],
+                          Real* const out[kNumVars],
+                          const mesh::PatchGeom& geom, Real half_extent,
+                          const bssn::BssnParams& params,
+                          const CompiledKernel& kernel, FusedWorkspace& ws,
+                          OpCounts* counts, int width) {
+  if (width <= 0) width = simd_active_width();
+  if (ws.spill.size() < static_cast<std::size_t>(kernel.spill_scratch_size()))
+    ws.spill.resize(static_cast<std::size_t>(kernel.spill_scratch_size()));
+  const Real inv_h = 1.0 / geom.h;
+  const Real inv_h2 = 1.0 / (geom.h * geom.h);
+
+  // Stage 1: the only patch-sized intermediates — inner d1 sweeps feeding
+  // the three mixed Hessian components of each second-derivative variable.
+  for (int s = 0; s < static_cast<int>(kSecondDerivVars.size()); ++s) {
+    const int v = kSecondDerivVars[s];
+    fd::d1(in[v], ws.inner_of(s, 0), 0, geom.h);
+    fd::d1(in[v], ws.inner_of(s, 1), 1, geom.h);
+  }
+
+  // Stage 2: fused SoA gather over the interior, one 7-point x-row at a
+  // time as one full pack plus one partial pack (or scalars at width 1).
+  for (int kk = kPad; kk < kPad + kR; ++kk)
+    for (int jj = kPad; jj < kPad + kR; ++jj) {
+      const int p0 = patch_idx(kPad, jj, kk);
+      const int col0 = ((kk - kPad) * kR + (jj - kPad)) * kR;
+      if (width >= 4) {
+        gather_chunk<4>(in, ws, p0, col0, 4, inv_h, inv_h2, params.chi_floor);
+        gather_chunk<4>(in, ws, p0 + 4, col0 + 4, kR - 4, inv_h, inv_h2,
+                        params.chi_floor);
+      } else {
+        for (int t = 0; t < kR; ++t)
+          gather_chunk<1>(in, ws, p0 + t, col0 + t, 1, inv_h, inv_h2,
+                          params.chi_floor);
+      }
+    }
+
+  // Stage 3: the scheduled algebra over all 343 points, W at a time.
+  kernel.run_block(ws.in_soa.data(), ws.out_soa.data(), kOct, width,
+                   ws.spill.data());
+
+  // Stage 4: scatter back to patch layout + Sommerfeld boundary overwrite
+  // (the radial derivative is the same fused d1 stencil, always scalar —
+  // boundary handling is width-independent by construction).
+  for (int kk = kPad; kk < kPad + kR; ++kk)
+    for (int jj = kPad; jj < kPad + kR; ++jj)
+      for (int ii = kPad; ii < kPad + kR; ++ii) {
+        const int p = patch_idx(ii, jj, kk);
+        const int col =
+            ((kk - kPad) * kR + (jj - kPad)) * kR + (ii - kPad);
+        for (int v = 0; v < kNumVars; ++v)
+          out[v][p] = ws.out_soa[std::size_t(v) * kOct + col];
+
+        if (params.sommerfeld) {
+          const Real x = geom.origin[0] + ii * geom.h;
+          const Real y = geom.origin[1] + jj * geom.h;
+          const Real z = geom.origin[2] + kk * geom.h;
+          const Real eps = 1e-9 * half_extent;
+          const bool on_boundary =
+              std::abs(std::abs(x) - half_extent) < eps ||
+              std::abs(std::abs(y) - half_extent) < eps ||
+              std::abs(std::abs(z) - half_extent) < eps;
+          if (on_boundary) {
+            using S1 = dgr::simd<Real, 1>;
+            const Real r = std::sqrt(x * x + y * y + z * z);
+            for (int v = 0; v < kNumVars; ++v) {
+              const Real du = (x * fd::d1_point<S1>(in[v], p, 0, inv_h)[0] +
+                               y * fd::d1_point<S1>(in[v], p, 1, inv_h)[0] +
+                               z * fd::d1_point<S1>(in[v], p, 2, inv_h)[0]) /
+                              r;
+              out[v][p] = -bssn::var_wave_speed(v) *
+                          (du + (in[v][p] - bssn::var_asymptotic(v)) / r);
+            }
+          }
+        }
+      }
+
+  if (counts) {
+    const std::uint64_t pts = kOct;
+    const std::uint64_t nh = kSecondDerivVars.size();
+    // Inner mixed-derivative sweeps cover 7x13x13 points per axis.
+    counts->flops += nh * 2 * std::uint64_t(kR * kPatch * kPatch) *
+                     fd::kD1Flops;
+    // Fused per-point stencil work: 63 first derivatives, 33 diagonal +
+    // 33 outer-mixed second derivatives, 72 upwind pieces plus the
+    // advective contraction, 24 KO terms, the chi floor.
+    counts->flops +=
+        pts * (63ull * fd::kD1Flops + 33ull * fd::kD2Flops +
+               33ull * fd::kD1Flops + 72ull * fd::kUpwindFlops +
+               std::uint64_t(kNumVars) * 6 +
+               std::uint64_t(kNumVars) * fd::kKoFlops + 1);
+    counts->flops += pts * kernel.stats().num_ops;
+    // Global traffic: each input patch streamed once, interior written once.
+    counts->bytes_read += std::uint64_t(kNumVars) * kPatchPts * sizeof(Real);
+    counts->bytes_written += pts * kNumVars * sizeof(Real);
+    // On-chip traffic: the SoA blocks + inner sweeps + kernel spills (the
+    // shared-memory analogue of the interp path's workspace arrays).
+    counts->shared_bytes +=
+        (ws.in_soa.size() + ws.out_soa.size() + ws.inner_d1.size()) *
+        sizeof(Real);
+    counts->shared_bytes += pts * (kernel.stats().spill_load_bytes +
+                                   kernel.stats().spill_store_bytes);
+  }
+}
+
+}  // namespace dgr::codegen

@@ -40,39 +40,32 @@ std::vector<Real> fornberg_weights(Real x0, const std::vector<Real>& nodes,
   return w;
 }
 
-namespace {
-
-struct CenteredWeights {
-  Real w1[7];  // first derivative, nodes -3..3
-  Real w2[7];  // second derivative, nodes -3..3
-  Real up_pos[5];  // 4th-order upwind for positive speed, nodes -1..3
-  Real up_neg[5];  // mirrored, nodes -3..1
-  Real ko[7];      // KO numerator (binomial), nodes -3..3
-  CenteredWeights() {
+const StencilWeights& stencil_weights() {
+  static const StencilWeights w = [] {
+    StencilWeights s;
     const std::vector<Real> c7 = {-3, -2, -1, 0, 1, 2, 3};
     auto a1 = fornberg_weights(0.0, c7, 1);
     auto a2 = fornberg_weights(0.0, c7, 2);
     for (int i = 0; i < 7; ++i) {
-      w1[i] = a1[i];
-      w2[i] = a2[i];
+      s.w1[i] = a1[i];
+      s.w2[i] = a2[i];
     }
     auto up = fornberg_weights(0.0, {-1, 0, 1, 2, 3}, 1);
-    for (int i = 0; i < 5; ++i) up_pos[i] = up[i];
+    for (int i = 0; i < 5; ++i) s.up_pos[i] = up[i];
     // Mirror: d/dx with nodes -3..1 is minus the reversed positive stencil.
-    for (int i = 0; i < 5; ++i) up_neg[i] = -up_pos[4 - i];
+    for (int i = 0; i < 5; ++i) s.up_neg[i] = -s.up_pos[4 - i];
     const Real b[7] = {1, -6, 15, -20, 15, -6, 1};
-    for (int i = 0; i < 7; ++i) ko[i] = b[i] / 64.0;
-  }
-};
-
-const CenteredWeights& weights() {
-  static const CenteredWeights w;
+    for (int i = 0; i < 7; ++i) s.ko[i] = b[i] / 64.0;
+    return s;
+  }();
   return w;
 }
 
-constexpr int stride_of(int axis) {
-  return axis == 0 ? 1 : axis == 1 ? kPatch : kPatch * kPatch;
-}
+namespace {
+
+const StencilWeights& weights() { return stencil_weights(); }
+
+constexpr int stride_of(int axis) { return axis_stride(axis); }
 
 /// Compile-time-stride centered sweep: the fixed stride lets the compiler
 /// unroll and vectorize the 7-point contraction; the valid region is 3..9

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "codegen/bssn_graph.hpp"
 #include "common/error.hpp"
 #include "exec/parallel.hpp"
 #include "gw/psi4.hpp"
@@ -32,6 +33,13 @@ GpuBssnSolver::GpuBssnSolver(std::shared_ptr<mesh::Mesh> mesh,
   patch_in_.resize(cap);
   patch_out_.resize(cap);
   runtime_.device_alloc(2 * cap * sizeof(Real));
+  if (config_.fused_simd_rhs) {
+    const auto g = codegen::build_bssn_algebra_graph(
+        config_.bssn.lambda_f0, config_.bssn.eta, config_.bssn.ko_sigma);
+    fused_kernel_ = std::make_unique<codegen::CompiledKernel>(
+        g.graph, std::vector<std::int32_t>(g.outputs.begin(), g.outputs.end()),
+        codegen::Strategy::kStagedCse);
+  }
 }
 
 void GpuBssnSolver::upload(const bssn::BssnState& state) {
@@ -52,6 +60,8 @@ void GpuBssnSolver::compute_rhs(const BssnState& u, BssnState& rhs) {
   const Real half = mesh_->domain().half_extent;
   if (static_cast<int>(ws_.size()) < exec::lanes())
     ws_.resize(exec::lanes());
+  if (fused_kernel_ && static_cast<int>(fws_.size()) < exec::lanes())
+    fws_.resize(exec::lanes());
 
   // Halo exchange (Algorithm 1 line 6): on a single simulated device the
   // partition is whole, so only the (empty) kernel is recorded.
@@ -89,8 +99,15 @@ void GpuBssnSolver::compute_rhs(const BssnState& u, BssnState& rhs) {
               pin[v] = &patch_in_[base + v * kPatchPts];
               pout[v] = &patch_out_[base + v * kPatchPts];
             }
-            bssn::bssn_rhs_patch(pin, pout, mesh_->patch_geom(e), half,
-                                 config_.bssn, ws, &c);
+            if (fused_kernel_) {
+              codegen::bssn_rhs_patch_fused(
+                  pin, pout, mesh_->patch_geom(e), half, config_.bssn,
+                  *fused_kernel_, fws_[exec::this_lane()], &c,
+                  config_.simd_width);
+            } else {
+              bssn::bssn_rhs_patch(pin, pout, mesh_->patch_geom(e), half,
+                                   config_.bssn, ws, &c);
+            }
           }
         });
 

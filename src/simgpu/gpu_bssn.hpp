@@ -13,6 +13,7 @@
 
 #include "bssn/rhs.hpp"
 #include "bssn/state.hpp"
+#include "codegen/fused_rhs.hpp"
 #include "gw/extract.hpp"
 #include "mesh/mesh.hpp"
 #include "simgpu/runtime.hpp"
@@ -23,6 +24,12 @@ struct GpuSolverConfig {
   bssn::BssnParams bssn;
   Real cfl = 0.25;
   int chunk_octants = 64;
+  /// Run the "bssn-rhs" kernel through the fused SIMD path (the host-side
+  /// analogue of the paper's generated staged+CSE device kernel) instead of
+  /// the staged compiled C++ kernel.
+  bool fused_simd_rhs = false;
+  /// SIMD pack width for the fused kernel (0 = runtime DGR_SIMD width).
+  int simd_width = 0;
 };
 
 class GpuBssnSolver {
@@ -66,6 +73,9 @@ class GpuBssnSolver {
   /// One derivative workspace per pool lane: kernel bodies run on pool
   /// workers (launch_range) and index this by exec::this_lane().
   std::vector<bssn::DerivWorkspace> ws_;
+  /// Fused-kernel state (only populated when config.fused_simd_rhs).
+  std::unique_ptr<codegen::CompiledKernel> fused_kernel_;
+  std::vector<codegen::FusedWorkspace> fws_;
   std::vector<Real> patch_in_, patch_out_;
   Real time_ = 0;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "codegen/bssn_graph.hpp"
 #include "common/error.hpp"
 #include "exec/parallel.hpp"
 #include "mesh/sampling.hpp"
@@ -78,6 +79,13 @@ RhsPipeline::RhsPipeline(std::shared_ptr<const mesh::Mesh> mesh,
       static_cast<std::size_t>(config_.chunk_octants) * kNumVars * kPatchPts;
   patch_in_.resize(cap);
   patch_out_.resize(cap);
+  if (config_.rhs_kernel == RhsKernel::kStagedFusedSimd) {
+    const auto g = codegen::build_bssn_algebra_graph(
+        config_.bssn.lambda_f0, config_.bssn.eta, config_.bssn.ko_sigma);
+    fused_kernel_ = std::make_unique<codegen::CompiledKernel>(
+        g.graph, std::vector<std::int32_t>(g.outputs.begin(), g.outputs.end()),
+        codegen::Strategy::kStagedCse);
+  }
 }
 
 void RhsPipeline::set_mesh(std::shared_ptr<const mesh::Mesh> mesh) {
@@ -93,6 +101,8 @@ void RhsPipeline::compute(const BssnState& u, BssnState& rhs,
   const Real half = mesh_->domain().half_extent;
   if (static_cast<int>(ws_.size()) < exec::lanes())
     ws_.resize(exec::lanes());
+  if (fused_kernel_ && static_cast<int>(fws_.size()) < exec::lanes())
+    fws_.resize(exec::lanes());
 
   // Each phase of a chunk runs data-parallel on the host pool. Split axes
   // preserve the serial arithmetic and op counts exactly: unzip splits by
@@ -133,8 +143,15 @@ void RhsPipeline::compute(const BssnState& u, BssnState& rhs,
                 pin[v] = &patch_in_[base + v * kPatchPts];
                 pout[v] = &patch_out_[base + v * kPatchPts];
               }
-              bssn::bssn_rhs_patch(pin, pout, mesh_->patch_geom(e), half,
-                                   config_.bssn, ws, &c);
+              if (fused_kernel_) {
+                codegen::bssn_rhs_patch_fused(
+                    pin, pout, mesh_->patch_geom(e), half, config_.bssn,
+                    *fused_kernel_, fws_[exec::this_lane()], &c,
+                    config_.simd_width);
+              } else {
+                bssn::bssn_rhs_patch(pin, pout, mesh_->patch_geom(e), half,
+                                     config_.bssn, ws, &c);
+              }
             }
           });
       if (phases) phases->rhs.stop();

@@ -12,11 +12,18 @@
 #include "bssn/constraints.hpp"
 #include "bssn/rhs.hpp"
 #include "bssn/state.hpp"
+#include "codegen/fused_rhs.hpp"
 #include "common/counters.hpp"
 #include "common/timer.hpp"
 #include "mesh/mesh.hpp"
 
 namespace dgr::solver {
+
+/// Which patch-RHS kernel the pipeline runs.
+enum class RhsKernel {
+  kCompiled,         ///< bssn_rhs_patch: staged compiled C++ (default)
+  kStagedFusedSimd,  ///< fused SIMD path over the staged+CSE program
+};
 
 struct SolverConfig {
   bssn::BssnParams bssn;
@@ -25,6 +32,11 @@ struct SolverConfig {
   /// GPU analogue launches one block per octant).
   int chunk_octants = 64;
   mesh::UnzipMethod unzip_method = mesh::UnzipMethod::kLoopOverOctants;
+  RhsKernel rhs_kernel = RhsKernel::kCompiled;
+  /// SIMD pack width for the fused kernel: 0 = the runtime width selected
+  /// by DGR_SIMD (see simd_active_width), else 1 or 4. Results are bitwise
+  /// identical at every width and thread count.
+  int simd_width = 0;
 };
 
 /// Per-phase accumulated wall-clock cost of the evolution pipeline; the
@@ -76,6 +88,10 @@ class RhsPipeline {
   /// One derivative workspace per pool lane: the RHS sweep runs on pool
   /// workers (src/exec) and indexes this by exec::this_lane().
   std::vector<bssn::DerivWorkspace> ws_;
+  /// Fused-kernel state (only populated for RhsKernel::kStagedFusedSimd):
+  /// the compiled staged+CSE program and one SoA workspace per pool lane.
+  std::unique_ptr<codegen::CompiledKernel> fused_kernel_;
+  std::vector<codegen::FusedWorkspace> fws_;
   std::vector<Real> patch_in_, patch_out_;
 };
 
