@@ -21,6 +21,7 @@
 #include "bench_common.hpp"
 #include "bssn/initial_data.hpp"
 #include "dist/engine.hpp"
+#include "serve/protocol.hpp"
 
 namespace {
 
@@ -29,14 +30,12 @@ int parse_int_flag(const char* flag, const char* value, int lo, int hi) {
     std::fprintf(stderr, "error: %s requires a value\n", flag);
     std::exit(2);
   }
-  char* end = nullptr;
-  const long n = std::strtol(value, &end, 10);
-  if (end == value || *end != '\0' || n < lo || n > hi) {
-    std::fprintf(stderr, "error: %s expects an integer in [%d, %d], got %s\n",
-                 flag, lo, hi, value);
+  try {
+    return static_cast<int>(dgr::serve::parse_count(value, flag, lo, hi));
+  } catch (const dgr::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
     std::exit(2);
   }
-  return static_cast<int>(n);
 }
 
 }  // namespace

@@ -1,0 +1,128 @@
+#pragma once
+/// \file driver.hpp
+/// \brief The ensemble driver: accepts a stream of scenario configs from
+/// any number of client threads, deduplicates them against the waveform
+/// cache and against evolutions already in flight (duplicate requests
+/// coalesce onto the running one — a unique config is evolved exactly
+/// once), and schedules the misses over the src/exec thread pool with a
+/// size-aware policy:
+///
+///  - small scenarios (estimated_octants below EnsembleConfig::
+///    large_job_octants) are packed as independent pool tasks — up to
+///    `concurrency` of them run concurrently, each on one worker lane,
+///    their nested parallel regions staying lane-local unless stolen;
+///  - large scenarios are executed one at a time by the driver's dispatcher
+///    thread, which as the pool's single external driver hands the whole
+///    pool to the evolution's parallel_for internals.
+///
+/// Results are bitwise independent of the placement (worker lane vs
+/// dispatcher, any thread count) — the src/exec determinism contract — so
+/// a cache hit is bitwise identical to a recomputation.
+///
+/// Threading rules: submit()/evolve() are safe from any thread. Client
+/// threads must not themselves open parallel regions while the driver is
+/// running (the dispatcher is the pool's one external driver).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "ensemble/cache.hpp"
+#include "ensemble/scenario.hpp"
+
+namespace dgr::ensemble {
+
+struct EnsembleConfig {
+  /// Max small evolutions running concurrently; 0 means exec::lanes().
+  int concurrency = 0;
+  std::size_t cache_bytes = std::size_t{64} << 20;
+  std::string spill_dir;  ///< "" disables disk spill
+  /// Scenarios at or above this estimated octant count are "large" and get
+  /// the whole pool via the dispatcher instead of being packed.
+  std::size_t large_job_octants = 4096;
+};
+
+/// How a request was satisfied (per-request, known at submit time).
+enum class Source {
+  kComputed,   ///< scheduled a fresh evolution
+  kCoalesced,  ///< joined an evolution already in flight
+  kMemory,     ///< in-memory cache hit
+  kDisk,       ///< disk-spill cache hit
+};
+
+const char* source_name(Source s);
+
+class EnsembleDriver {
+ public:
+  using Result = std::shared_ptr<const Waveform>;
+
+  /// A submitted request: the shared future resolves to the waveform (or
+  /// rethrows the evolution's failure); `source` says how it was routed.
+  struct Ticket {
+    std::shared_future<Result> future;
+    Source source = Source::kComputed;
+    std::uint64_t hash = 0;
+  };
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t evolutions = 0;  ///< evolutions actually run
+    std::uint64_t coalesced = 0;
+    std::uint64_t jobs_small = 0;
+    std::uint64_t jobs_large = 0;
+    std::uint64_t failures = 0;
+  };
+
+  explicit EnsembleDriver(EnsembleConfig cfg);
+  ~EnsembleDriver();  ///< drains in-flight work, then joins the dispatcher
+  EnsembleDriver(const EnsembleDriver&) = delete;
+  EnsembleDriver& operator=(const EnsembleDriver&) = delete;
+
+  /// Route a request: cache hit returns a ready future; a duplicate of an
+  /// in-flight config joins it; otherwise a new evolution is scheduled.
+  Ticket submit(const ScenarioConfig& cfg);
+
+  /// Blocking convenience: submit and wait. `source_out` (optional)
+  /// receives the routing decision.
+  Result evolve(const ScenarioConfig& cfg, Source* source_out = nullptr);
+
+  /// Wait until no request is queued or in flight.
+  void drain();
+
+  WaveformCache& cache() { return cache_; }
+  const EnsembleConfig& config() const { return cfg_; }
+  Stats stats() const;
+
+ private:
+  struct Job {
+    ScenarioKey key;
+    ScenarioConfig cfg;
+    std::promise<Result> promise;
+    double t_submit_us = 0;
+  };
+  using JobPtr = std::shared_ptr<Job>;
+
+  void execute(const JobPtr& job);
+  void run_small_jobs();  ///< pool-task body: chain through queued jobs
+  void dispatcher_loop();
+
+  EnsembleConfig cfg_;
+  WaveformCache cache_;
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;  ///< wakes the dispatcher and drain()
+  std::unordered_map<std::string, std::shared_future<Result>> inflight_;
+  std::deque<JobPtr> small_queue_, large_queue_;
+  int active_small_ = 0;  ///< pool runner tasks currently alive
+  bool large_running_ = false;
+  bool stop_ = false;
+  Stats stats_;
+  std::thread dispatcher_;
+};
+
+}  // namespace dgr::ensemble

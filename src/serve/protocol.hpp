@@ -1,0 +1,103 @@
+#pragma once
+/// \file protocol.hpp
+/// \brief The dgr_serve line protocol and its strict parsers. One request
+/// per newline-terminated line, one (or, with full=1, several) response
+/// lines per request:
+///
+///   PING                      -> PONG
+///   STATS                     -> STATS key=value ...
+///   EVOLVE k=v ...            -> OK hash=<16hex> source=miss|join|mem|disk
+///                                wait_us=<n> samples=<n> digest=<16hex>
+///   EVOLVEX <hex>             -> same, config given as the hex canonical
+///                                encoding (exact bit round trip)
+///   SHUTDOWN                  -> OK draining   (graceful drain begins)
+///   QUIT                      -> connection closed
+///
+/// Overload responses: BUSY depth=<n> (admission control shed) and
+/// DRAINING (server is shutting down). Malformed input gets ERR <msg>.
+///
+/// EVOLVE fields (all optional, server defaults apply): q, sep, s1x s1y
+/// s1z, s2x s2y s2z, half, base, finest, eps, steps, regrid, extract,
+/// radius, cfl, ko, full. Doubles are parsed with std::from_chars over the
+/// full token — shortest round-trip decimals (jsonu::num) reproduce the
+/// exact bits; EVOLVEX skips text entirely. Integers and every
+/// DGR_SERVE_* environment knob go through the strict parse_count /
+/// parse_real parsers below (the exec::parse_thread_count discipline —
+/// garbage never silently becomes zero).
+
+#include <cstdint>
+#include <string>
+
+#include "ensemble/scenario.hpp"
+
+namespace dgr::serve {
+
+/// Strict bounded integer parse: digits (optional leading '-') only, full
+/// consume, value in [lo, hi]; anything else throws dgr::Error naming
+/// `what`. The generalization of exec::parse_thread_count to arbitrary
+/// bounds, shared by CLI flags and DGR_SERVE_* environment knobs.
+long parse_count(const char* s, const char* what, long lo, long hi);
+
+/// Strict double parse: std::from_chars over the whole token (no trailing
+/// junk, no empty string); throws dgr::Error naming `what`. Round-trips
+/// shortest-decimal output bit-for-bit.
+double parse_real(const char* s, const char* what);
+
+/// Environment knob helper: returns fallback when `name` is unset,
+/// otherwise the strictly parsed value (unset and invalid are different —
+/// invalid throws).
+long env_count(const char* name, long fallback, long lo, long hi);
+
+std::string to_hex(const std::string& bytes);
+std::string from_hex(const std::string& hex);  ///< throws on odd/non-hex
+
+struct Request {
+  enum class Kind { kPing, kStats, kEvolve, kShutdown, kQuit };
+  Kind kind = Kind::kPing;
+  ensemble::ScenarioConfig cfg;  ///< kEvolve only
+  bool full = false;             ///< stream waveform samples after OK
+};
+
+/// Parse one request line against the server's default scenario; throws
+/// dgr::Error with a client-presentable message on malformed input.
+Request parse_request(const std::string& line,
+                      const ensemble::ScenarioConfig& defaults);
+
+/// Client-side formatter for an EVOLVE line: every double emitted with
+/// jsonu::num (shortest round trip), so parse_request reproduces `cfg`
+/// bit-for-bit.
+std::string format_evolve(const ensemble::ScenarioConfig& cfg,
+                          bool full = false);
+
+/// Client-side formatter for EVOLVEX (hex canonical encoding).
+std::string format_evolvex(const ensemble::ScenarioConfig& cfg,
+                           bool full = false);
+
+/// A minimal blocking line-protocol client over a Unix-domain socket, used
+/// by the load generator, the tests, and scripting. Not thread-safe; one
+/// per client thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to the server socket; throws dgr::Error on failure.
+  void connect(const std::string& socket_path);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Send one line (newline appended); throws on I/O failure.
+  void send_line(const std::string& line);
+  /// Receive one line (without the newline); throws on EOF / I/O failure.
+  std::string recv_line();
+  /// send_line + recv_line.
+  std::string request(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace dgr::serve

@@ -1,0 +1,307 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "obs/obs.hpp"
+
+namespace dgr::serve {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 0; i < 16; ++i) s[i] = digits[(v >> (60 - 4 * i)) & 0xf];
+  return s;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // peer went away; nothing useful left to do
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+Server::Server(ServeConfig cfg) : cfg_(std::move(cfg)) {
+  driver_ = std::make_unique<ensemble::EnsembleDriver>(cfg_.ensemble);
+}
+
+Server::~Server() {
+  request_shutdown();
+  if (acceptor_.joinable()) wait();
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::unlink(cfg_.socket_path.c_str());
+}
+
+void Server::start() {
+  DGR_CHECK_MSG(listen_fd_ < 0, "server already started");
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  DGR_CHECK_MSG(listen_fd_ >= 0, "socket(): " << std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  DGR_CHECK_MSG(cfg_.socket_path.size() < sizeof(addr.sun_path),
+                "socket path too long: " << cfg_.socket_path);
+  std::strncpy(addr.sun_path, cfg_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(cfg_.socket_path.c_str());  // stale socket from a previous run
+  DGR_CHECK_MSG(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) == 0,
+                "bind(" << cfg_.socket_path << "): " << std::strerror(errno));
+  DGR_CHECK_MSG(::listen(listen_fd_, 64) == 0,
+                "listen(): " << std::strerror(errno));
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::request_shutdown() { draining_.store(true); }
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lk(stats_m_);
+  drained_cv_.wait(lk, [&] { return drain_done_; });
+}
+
+void Server::accept_loop() {
+  while (!draining_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 100);
+    if (r <= 0) continue;  // timeout or EINTR: re-check draining_
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // A receive timeout keeps handlers responsive to drain even when the
+    // client holds the connection open without sending.
+    timeval tv{0, 200 * 1000};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    {
+      std::lock_guard<std::mutex> lk(stats_m_);
+      ++stats_.connections;
+    }
+    obs::count("serve.connections");
+    std::lock_guard<std::mutex> lk(conn_m_);
+    handlers_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+  // Drain: no new connections; every admitted request finishes; handler
+  // threads exit once their clients disconnect or go idle.
+  driver_->drain();
+  {
+    std::lock_guard<std::mutex> lk(conn_m_);
+    for (std::thread& t : handlers_) t.join();
+    handlers_.clear();
+  }
+  stopped_.store(true);
+  {
+    std::lock_guard<std::mutex> lk(stats_m_);
+    stats_.drained = true;
+    drain_done_ = true;
+  }
+  obs::gauge_set("serve.drained", 1.0);
+  drained_cv_.notify_all();
+}
+
+std::string Server::stats_line() {
+  const auto ds = driver_->stats();
+  const auto cs = driver_->cache().stats();
+  Stats ss;
+  {
+    std::lock_guard<std::mutex> lk(stats_m_);
+    ss = stats_;
+  }
+  std::string s = "STATS";
+  s += " requests=" + std::to_string(ss.requests);
+  s += " shed=" + std::to_string(ss.shed);
+  s += " errors=" + std::to_string(ss.errors);
+  s += " connections=" + std::to_string(ss.connections);
+  s += " pending=" + std::to_string(pending_.load());
+  s += " evolutions=" + std::to_string(ds.evolutions);
+  s += " coalesced=" + std::to_string(ds.coalesced);
+  s += " jobs_small=" + std::to_string(ds.jobs_small);
+  s += " jobs_large=" + std::to_string(ds.jobs_large);
+  s += " hits_mem=" + std::to_string(cs.hits_memory);
+  s += " hits_disk=" + std::to_string(cs.hits_disk);
+  s += " misses=" + std::to_string(cs.misses);
+  s += " evictions=" + std::to_string(cs.evictions);
+  s += " spills=" + std::to_string(cs.spills);
+  s += " cache_bytes=" + std::to_string(cs.bytes);
+  s += " draining=" + std::to_string(draining_.load() ? 1 : 0);
+  return s;
+}
+
+void Server::handle_connection(int fd) {
+  // One queued response per request line, written strictly in request
+  // order after the whole batch has been submitted to the driver.
+  struct Pending {
+    bool is_ticket = false;
+    std::string text;  // immediate responses (PONG, STATS, BUSY, ERR, ...)
+    ensemble::EnsembleDriver::Ticket ticket;
+    bool full = false;
+    double t_submit_us = 0;
+  };
+
+  std::string buf;
+  bool open = true;
+  while (open && !stopped_.load()) {
+    char chunk[8192];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (draining_.load()) break;  // idle client during drain: close
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or hard error
+    buf.append(chunk, static_cast<std::size_t>(n));
+
+    // Batch: every complete line already buffered (bounded by max_batch;
+    // the remainder is picked up next iteration).
+    std::vector<std::string> lines;
+    std::size_t nl;
+    while (static_cast<int>(lines.size()) < cfg_.max_batch &&
+           (nl = buf.find('\n')) != std::string::npos) {
+      lines.push_back(buf.substr(0, nl));
+      buf.erase(0, nl + 1);
+    }
+    if (lines.empty()) continue;
+
+    std::vector<Pending> batch;
+    batch.reserve(lines.size());
+    int evolves_submitted = 0;
+    for (const std::string& line : lines) {
+      Pending p;
+      Request req;
+      try {
+        req = parse_request(line, cfg_.defaults);
+      } catch (const Error& e) {
+        p.text = std::string("ERR ") + e.what();
+        {
+          std::lock_guard<std::mutex> lk(stats_m_);
+          ++stats_.errors;
+        }
+        obs::count("serve.errors");
+        batch.push_back(std::move(p));
+        continue;
+      }
+      switch (req.kind) {
+        case Request::Kind::kPing:
+          p.text = "PONG";
+          break;
+        case Request::Kind::kStats:
+          p.text = stats_line();
+          break;
+        case Request::Kind::kQuit:
+          open = false;
+          break;
+        case Request::Kind::kShutdown:
+          p.text = "OK draining";
+          request_shutdown();
+          break;
+        case Request::Kind::kEvolve: {
+          if (draining_.load()) {
+            p.text = "DRAINING";
+            break;
+          }
+          // Admission control: shed with an explicit reject once the
+          // unanswered-request window is full. fetch_add + re-check keeps
+          // the bound exact under concurrent handlers.
+          const int depth = pending_.fetch_add(1);
+          if (depth >= cfg_.queue_max) {
+            pending_.fetch_sub(1);
+            p.text = "BUSY depth=" + std::to_string(depth);
+            {
+              std::lock_guard<std::mutex> lk(stats_m_);
+              ++stats_.shed;
+            }
+            obs::count("serve.shed");
+            break;
+          }
+          {
+            std::lock_guard<std::mutex> lk(stats_m_);
+            ++stats_.requests;
+          }
+          obs::count("serve.requests");
+          p.is_ticket = true;
+          p.full = req.full;
+          p.t_submit_us = monotonic_us();
+          p.ticket = driver_->submit(req.cfg);
+          obs::count((std::string("serve.source.") +
+                      ensemble::source_name(p.ticket.source))
+                         .c_str());
+          ++evolves_submitted;
+          break;
+        }
+      }
+      if (!open) break;
+      batch.push_back(std::move(p));
+    }
+    if (evolves_submitted > 0) obs::observe("serve.batch", evolves_submitted);
+
+    std::string out;
+    for (Pending& p : batch) {
+      if (!p.is_ticket) {
+        if (!p.text.empty()) out += p.text + "\n";
+        continue;
+      }
+      std::string resp;
+      try {
+        const auto wf = p.ticket.future.get();
+        const double wait_us = monotonic_us() - p.t_submit_us;
+        obs::observe("serve.wait_us", wait_us);
+        const std::string blob = ensemble::serialize(*wf);
+        resp = "OK hash=" + hex16(p.ticket.hash) +
+               " source=" + ensemble::source_name(p.ticket.source) +
+               " wait_us=" + jsonu::num(wait_us) +
+               " samples=" + std::to_string(wf->psi4_22.times.size()) +
+               " digest=" + hex16(ensemble::fnv1a64(blob));
+        if (p.full) {
+          resp += "\nSAMPLES " + std::to_string(wf->psi4_22.times.size());
+          for (std::size_t i = 0; i < wf->psi4_22.times.size(); ++i) {
+            // Bit patterns in hex: the textual stream is bitwise-faithful.
+            resp += "\n" +
+                    hex16(std::bit_cast<std::uint64_t>(
+                        wf->psi4_22.times[i])) +
+                    " " +
+                    hex16(std::bit_cast<std::uint64_t>(
+                        wf->psi4_22.values[i].real())) +
+                    " " +
+                    hex16(std::bit_cast<std::uint64_t>(
+                        wf->psi4_22.values[i].imag()));
+          }
+          resp += "\nEND";
+        }
+      } catch (const std::exception& e) {
+        resp = std::string("ERR evolve failed: ") + e.what();
+        {
+          std::lock_guard<std::mutex> lk(stats_m_);
+          ++stats_.errors;
+        }
+        obs::count("serve.errors");
+      }
+      pending_.fetch_sub(1);
+      out += resp + "\n";
+    }
+    if (!out.empty()) send_all(fd, out);
+  }
+  ::close(fd);
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard<std::mutex> lk(stats_m_);
+  return stats_;
+}
+
+}  // namespace dgr::serve

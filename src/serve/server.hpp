@@ -1,0 +1,98 @@
+#pragma once
+/// \file server.hpp
+/// \brief The waveform-service front-end: a Unix-domain-socket line
+/// protocol server (protocol.hpp) over the ensemble driver.
+///
+/// Architecture. One accept loop (polling, so shutdown is prompt) spawns a
+/// handler thread per connection. A handler drains every complete request
+/// line already buffered on its socket and submits them to the ensemble
+/// driver as one batch before writing any response — pipelined clients get
+/// request batching (and in-flight coalescing across the batch) for free;
+/// responses are written in request order.
+///
+/// Admission control. The server tracks admitted-but-unanswered EVOLVE
+/// requests; at `queue_max` it sheds load with an explicit `BUSY depth=N`
+/// response instead of queueing unboundedly — no request is ever silently
+/// dropped. Cache hits resolve immediately, so shedding bites exactly when
+/// evolutions back up.
+///
+/// Graceful drain. SHUTDOWN (or request_shutdown()) stops accepting
+/// connections, answers new EVOLVEs with DRAINING, lets every admitted
+/// request finish, then wakes wait(). Per-request observability feeds the
+/// installed obs::MetricsRegistry: serve.requests / serve.shed /
+/// serve.source.* counters and serve.wait_us / serve.batch summaries.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ensemble/driver.hpp"
+#include "serve/protocol.hpp"
+
+namespace dgr::serve {
+
+struct ServeConfig {
+  std::string socket_path = "/tmp/dgr_serve.sock";
+  /// Admission bound: max admitted EVOLVEs awaiting a response.
+  int queue_max = 64;
+  /// Max request lines pulled from one socket read into a single batch.
+  int max_batch = 64;
+  ensemble::EnsembleConfig ensemble;
+  /// Defaults applied to EVOLVE requests with omitted fields.
+  ensemble::ScenarioConfig defaults;
+};
+
+class Server {
+ public:
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;  ///< EVOLVE requests admitted
+    std::uint64_t shed = 0;      ///< EVOLVE requests rejected with BUSY
+    std::uint64_t errors = 0;    ///< malformed request lines
+    bool drained = false;        ///< graceful drain completed
+  };
+
+  explicit Server(ServeConfig cfg);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the socket and start accepting; throws dgr::Error on failure.
+  void start();
+  /// Block until a graceful shutdown has fully drained.
+  void wait();
+  /// Begin graceful drain (idempotent, callable from any thread or from a
+  /// signal-watcher).
+  void request_shutdown();
+  bool draining() const { return draining_.load(); }
+
+  const ServeConfig& config() const { return cfg_; }
+  ensemble::EnsembleDriver& driver() { return *driver_; }
+  Stats stats() const;
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  std::string stats_line();
+
+  ServeConfig cfg_;
+  std::unique_ptr<ensemble::EnsembleDriver> driver_;
+  int listen_fd_ = -1;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<int> pending_{0};  ///< admitted EVOLVEs not yet answered
+  std::thread acceptor_;
+  std::mutex conn_m_;
+  std::vector<std::thread> handlers_;
+  mutable std::mutex stats_m_;
+  std::condition_variable drained_cv_;
+  Stats stats_;
+  bool drain_done_ = false;  ///< guarded by stats_m_
+};
+
+}  // namespace dgr::serve

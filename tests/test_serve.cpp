@@ -1,0 +1,337 @@
+/// \file test_serve.cpp
+/// \brief Tests for the waveform-service front-end: strict protocol
+/// parsing (the exec::parse_thread_count discipline for every knob),
+/// bit-exact EVOLVE/EVOLVEX round trips, and the socket server end to end
+/// — hit/miss digest equality, request batching, admission-control load
+/// shedding with no lost responses, and graceful drain.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ensemble/scenario.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+using namespace dgr;
+using namespace dgr::serve;
+
+namespace {
+
+ensemble::ScenarioConfig tiny_scenario() {
+  ensemble::ScenarioConfig cfg;
+  cfg.base_level = 1;
+  cfg.finest_level = 2;
+  cfg.domain_half = 8.0;
+  cfg.steps = 2;
+  cfg.extract_every = 1;
+  cfg.extraction_radius = 3.0;
+  return cfg;
+}
+
+std::string test_socket(const char* tag) {
+  return "/tmp/dgr_test_serve_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+/// Split "OK hash=... source=... ..." into {key: value} (verb under "").
+std::map<std::string, std::string> fields(const std::string& line) {
+  std::map<std::string, std::string> out;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < line.size()) {
+    std::size_t sp = line.find(' ', pos);
+    if (sp == std::string::npos) sp = line.size();
+    const std::string tok = line.substr(pos, sp - pos);
+    const auto eq = tok.find('=');
+    if (first && eq == std::string::npos) out[""] = tok;
+    else if (eq != std::string::npos)
+      out[tok.substr(0, eq)] = tok.substr(eq + 1);
+    first = false;
+    pos = sp + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- strict parsing
+
+TEST(Protocol, ParseCountAcceptsBoundedIntegers) {
+  EXPECT_EQ(parse_count("42", "n", 1, 100), 42);
+  EXPECT_EQ(parse_count("1", "n", 1, 100), 1);
+  EXPECT_EQ(parse_count("-3", "n", -10, 10), -3);
+}
+
+TEST(Protocol, ParseCountRejectsGarbage) {
+  EXPECT_THROW(parse_count("", "n", 1, 100), Error);
+  EXPECT_THROW(parse_count(nullptr, "n", 1, 100), Error);
+  EXPECT_THROW(parse_count("4x", "n", 1, 100), Error);
+  EXPECT_THROW(parse_count("x4", "n", 1, 100), Error);
+  EXPECT_THROW(parse_count(" 4", "n", 1, 100), Error);
+  EXPECT_THROW(parse_count("4.0", "n", 1, 100), Error);
+  EXPECT_THROW(parse_count("0", "n", 1, 100), Error);    // below lo
+  EXPECT_THROW(parse_count("101", "n", 1, 100), Error);  // above hi
+  EXPECT_THROW(parse_count("99999999999999999999", "n", 1, 100), Error);
+}
+
+TEST(Protocol, ParseRealRejectsGarbage) {
+  EXPECT_EQ(parse_real("0.25", "x"), 0.25);
+  EXPECT_EQ(parse_real("-1e-3", "x"), -1e-3);
+  EXPECT_THROW(parse_real("", "x"), Error);
+  EXPECT_THROW(parse_real("1.5oops", "x"), Error);
+  EXPECT_THROW(parse_real("nanx", "x"), Error);
+}
+
+TEST(Protocol, EnvCountUnsetVsInvalid) {
+  ::unsetenv("DGR_TEST_SERVE_KNOB");
+  EXPECT_EQ(env_count("DGR_TEST_SERVE_KNOB", 7, 1, 100), 7);
+  ::setenv("DGR_TEST_SERVE_KNOB", "12", 1);
+  EXPECT_EQ(env_count("DGR_TEST_SERVE_KNOB", 7, 1, 100), 12);
+  ::setenv("DGR_TEST_SERVE_KNOB", "garbage", 1);
+  EXPECT_THROW(env_count("DGR_TEST_SERVE_KNOB", 7, 1, 100), Error);
+  ::unsetenv("DGR_TEST_SERVE_KNOB");
+}
+
+TEST(Protocol, HexRoundTrip) {
+  const std::string bytes("\x00\x7f\xff\x10", 4);
+  EXPECT_EQ(from_hex(to_hex(bytes)), bytes);
+  EXPECT_THROW(from_hex("abc"), Error);   // odd length
+  EXPECT_THROW(from_hex("zz"), Error);    // not hex
+}
+
+// ------------------------------------------------------ request parsing
+
+TEST(Protocol, EvolveFormatParseRoundTripIsBitExact) {
+  ensemble::ScenarioConfig cfg = tiny_scenario();
+  cfg.q = 1.0 + 1.0 / 3.0;  // not representable in short decimal... unless
+  cfg.eps = 2e-3 + std::numeric_limits<double>::epsilon();
+  cfg.spin1[2] = -0.0;
+  cfg.spin2[0] = 0.123456789012345678;  // rounds to a specific double
+
+  const Request req = parse_request(format_evolve(cfg), tiny_scenario());
+  EXPECT_EQ(req.kind, Request::Kind::kEvolve);
+  // jsonu::num emits shortest round-trip decimals; the canonical encodings
+  // (bit patterns) must therefore match exactly.
+  EXPECT_EQ(ensemble::encode(req.cfg), ensemble::encode(cfg));
+
+  const Request reqx = parse_request(format_evolvex(cfg), tiny_scenario());
+  EXPECT_EQ(ensemble::encode(reqx.cfg), ensemble::encode(cfg));
+  EXPECT_FALSE(reqx.full);
+  EXPECT_TRUE(
+      parse_request(format_evolvex(cfg, true), tiny_scenario()).full);
+}
+
+TEST(Protocol, EvolveDefaultsApplyToOmittedFields) {
+  const ensemble::ScenarioConfig defaults = tiny_scenario();
+  const Request req = parse_request("EVOLVE q=2 steps=5", defaults);
+  EXPECT_EQ(req.cfg.q, 2.0);
+  EXPECT_EQ(req.cfg.steps, 5);
+  EXPECT_EQ(req.cfg.base_level, defaults.base_level);
+  EXPECT_EQ(req.cfg.extraction_radius, defaults.extraction_radius);
+}
+
+TEST(Protocol, ParseRequestRejectsMalformedLines) {
+  const ensemble::ScenarioConfig d = tiny_scenario();
+  EXPECT_THROW(parse_request("", d), Error);
+  EXPECT_THROW(parse_request("FROBNICATE", d), Error);
+  EXPECT_THROW(parse_request("PING now", d), Error);
+  EXPECT_THROW(parse_request("EVOLVE q", d), Error);
+  EXPECT_THROW(parse_request("EVOLVE bogus=1", d), Error);
+  EXPECT_THROW(parse_request("EVOLVE q=abc", d), Error);
+  EXPECT_THROW(parse_request("EVOLVE steps=0", d), Error);
+  EXPECT_THROW(parse_request("EVOLVE base=9", d), Error);
+  EXPECT_THROW(parse_request("EVOLVEX nothex", d), Error);
+  EXPECT_THROW(parse_request("EVOLVEX ab full=2", d), Error);
+}
+
+// --------------------------------------------------------- server e2e
+
+TEST(Server, PingStatsAndHitMissDigestEquality) {
+  ServeConfig cfg;
+  cfg.socket_path = test_socket("basic");
+  cfg.defaults = tiny_scenario();
+  cfg.ensemble.concurrency = 2;
+  Server server(cfg);
+  server.start();
+
+  Client c;
+  c.connect(cfg.socket_path);
+  EXPECT_EQ(c.request("PING"), "PONG");
+
+  // Miss, then hit: same hash, same digest (bitwise-identical waveform),
+  // different source.
+  const auto miss = fields(c.request("EVOLVE"));
+  ASSERT_EQ(miss.at(""), "OK") << "miss response";
+  EXPECT_EQ(miss.at("source"), "miss");
+  const auto hit = fields(c.request("EVOLVE"));
+  ASSERT_EQ(hit.at(""), "OK") << "hit response";
+  EXPECT_EQ(hit.at("source"), "mem");
+  EXPECT_EQ(hit.at("hash"), miss.at("hash"));
+  EXPECT_EQ(hit.at("digest"), miss.at("digest"))
+      << "cache hit must be bitwise identical to the recompute";
+  EXPECT_GT(std::stoul(miss.at("samples")), 0u);
+
+  // The digest over the wire matches a local recompute of the same config.
+  const ensemble::Waveform local = ensemble::run_scenario(cfg.defaults);
+  const std::uint64_t local_digest =
+      ensemble::fnv1a64(ensemble::serialize(local));
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(local_digest));
+  EXPECT_EQ(miss.at("digest"), hex);
+
+  const auto stats = fields(c.request("STATS"));
+  EXPECT_EQ(stats.at(""), "STATS");
+  EXPECT_EQ(stats.at("requests"), "2");
+  EXPECT_EQ(stats.at("evolutions"), "1");
+  EXPECT_EQ(stats.at("hits_mem"), "1");
+
+  // Malformed lines get ERR, and the connection survives.
+  EXPECT_EQ(c.request("NONSENSE").substr(0, 3), "ERR");
+  EXPECT_EQ(c.request("PING"), "PONG");
+
+  server.request_shutdown();
+  server.wait();
+  EXPECT_TRUE(server.stats().drained);
+}
+
+TEST(Server, FullResponseStreamsBitExactSamples) {
+  ServeConfig cfg;
+  cfg.socket_path = test_socket("full");
+  cfg.defaults = tiny_scenario();
+  Server server(cfg);
+  server.start();
+
+  Client c;
+  c.connect(cfg.socket_path);
+  const auto ok = fields(c.request("EVOLVE full=1"));
+  ASSERT_EQ(ok.at(""), "OK");
+  const auto header = fields(c.recv_line());
+  ASSERT_EQ(header.at(""), "SAMPLES");
+
+  const ensemble::Waveform local = ensemble::run_scenario(cfg.defaults);
+  const std::size_t n = local.psi4_22.times.size();
+  ASSERT_EQ(std::stoul(ok.at("samples")), n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string line = c.recv_line();
+    char want[64];
+    std::snprintf(
+        want, sizeof(want), "%016llx %016llx %016llx",
+        static_cast<unsigned long long>(
+            std::bit_cast<std::uint64_t>(local.psi4_22.times[i])),
+        static_cast<unsigned long long>(
+            std::bit_cast<std::uint64_t>(local.psi4_22.values[i].real())),
+        static_cast<unsigned long long>(
+            std::bit_cast<std::uint64_t>(local.psi4_22.values[i].imag())));
+    EXPECT_EQ(line, want) << "sample " << i << " not bit-exact";
+  }
+  EXPECT_EQ(c.recv_line(), "END");
+
+  server.request_shutdown();
+  server.wait();
+}
+
+TEST(Server, BatchedPipelinedRequestsAnswerInOrder) {
+  ServeConfig cfg;
+  cfg.socket_path = test_socket("batch");
+  cfg.defaults = tiny_scenario();
+  Server server(cfg);
+  server.start();
+
+  Client c;
+  c.connect(cfg.socket_path);
+  // One write carrying several requests: the handler batches them, and the
+  // duplicate EVOLVEs coalesce or hit — exactly one evolution runs.
+  c.send_line("PING\nEVOLVE\nEVOLVE\nPING");
+  EXPECT_EQ(c.recv_line(), "PONG");
+  const auto r1 = fields(c.recv_line());
+  const auto r2 = fields(c.recv_line());
+  EXPECT_EQ(c.recv_line(), "PONG");
+  ASSERT_EQ(r1.at(""), "OK");
+  ASSERT_EQ(r2.at(""), "OK");
+  EXPECT_EQ(r1.at("digest"), r2.at("digest"));
+
+  const auto stats = fields(c.request("STATS"));
+  EXPECT_EQ(stats.at("evolutions"), "1")
+      << "duplicate EVOLVEs in one batch must not recompute";
+
+  server.request_shutdown();
+  server.wait();
+}
+
+TEST(Server, LoadSheddingLosesNoResponses) {
+  ServeConfig cfg;
+  cfg.socket_path = test_socket("shed");
+  cfg.defaults = tiny_scenario();
+  cfg.queue_max = 2;  // tiny admission window: shedding must kick in
+  cfg.ensemble.concurrency = 1;
+  Server server(cfg);
+  server.start();
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 4;
+  std::atomic<int> ok{0}, busy{0}, other{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      Client c;
+      c.connect(cfg.socket_path);
+      for (int i = 0; i < kPerClient; ++i) {
+        // Unique config per request: all misses, so evolutions back up
+        // against the admission window.
+        ensemble::ScenarioConfig s = cfg.defaults;
+        s.steps = 2 + (t * kPerClient + i) % 7;
+        const std::string resp = c.request(format_evolvex(s));
+        if (resp.rfind("OK ", 0) == 0) ok.fetch_add(1);
+        else if (resp.rfind("BUSY ", 0) == 0) busy.fetch_add(1);
+        else other.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  // Every request got exactly one explicit response: admitted or shed,
+  // never dropped.
+  EXPECT_EQ(ok.load() + busy.load(), kClients * kPerClient);
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_GT(ok.load(), 0);
+
+  const auto ss = server.stats();
+  EXPECT_EQ(ss.requests, static_cast<std::uint64_t>(ok.load()));
+  EXPECT_EQ(ss.shed, static_cast<std::uint64_t>(busy.load()));
+
+  server.request_shutdown();
+  server.wait();
+  EXPECT_TRUE(server.stats().drained);
+}
+
+TEST(Server, GracefulDrainRefusesNewWork) {
+  ServeConfig cfg;
+  cfg.socket_path = test_socket("drain");
+  cfg.defaults = tiny_scenario();
+  Server server(cfg);
+  server.start();
+
+  Client c;
+  c.connect(cfg.socket_path);
+  EXPECT_EQ(c.request("SHUTDOWN"), "OK draining");
+  // The same (already-open) connection gets explicit DRAINING rejects.
+  EXPECT_EQ(c.request("EVOLVE"), "DRAINING");
+  server.wait();
+  EXPECT_TRUE(server.stats().drained);
+  EXPECT_TRUE(server.draining());
+}

@@ -1,0 +1,148 @@
+/// \file dgr_serve.cpp
+/// \brief The waveform-service daemon: serves the dgr_serve line protocol
+/// (src/serve) over a Unix-domain socket, backed by the ensemble driver
+/// and the content-addressed waveform cache.
+///
+/// Configuration precedence: built-in default < DGR_SERVE_* environment <
+/// command-line flag. Every numeric knob is strictly parsed (the
+/// exec::parse_thread_count discipline) — garbage is a startup error, not
+/// a silent zero:
+///
+///   --socket PATH / DGR_SERVE_SOCKET        socket path
+///   --concurrency N / DGR_SERVE_CONCURRENCY max concurrent small evolutions
+///   --cache-mb N / DGR_SERVE_CACHE_MB       in-memory cache budget (MiB)
+///   --queue-max N / DGR_SERVE_QUEUE_MAX     admission-control bound
+///   --spill-dir PATH / DGR_SERVE_SPILL_DIR  on-disk spill directory
+///   --threads N                             host pool lanes (else DGR_THREADS)
+///   --json PATH                             metrics snapshot on exit
+///
+/// SIGINT/SIGTERM (or a client SHUTDOWN) begin a graceful drain: admitted
+/// requests finish, new ones get DRAINING, then the process exits 0 after
+/// writing the metrics snapshot.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+#include "exec/pool.hpp"
+#include "obs/obs.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+void on_signal(int) { g_signal = 1; }
+
+const char* arg_value(int argc, char** argv, int& i, const char* flag) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "error: %s requires a value\n", flag);
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dgr;
+
+  serve::ServeConfig cfg;
+  std::string json_path;
+  try {
+    // Environment first, flags override.
+    if (const char* e = std::getenv("DGR_SERVE_SOCKET")) cfg.socket_path = e;
+    if (const char* e = std::getenv("DGR_SERVE_SPILL_DIR"))
+      cfg.ensemble.spill_dir = e;
+    cfg.ensemble.concurrency = static_cast<int>(
+        serve::env_count("DGR_SERVE_CONCURRENCY", 0, 1, 4096));
+    cfg.ensemble.cache_bytes =
+        static_cast<std::size_t>(
+            serve::env_count("DGR_SERVE_CACHE_MB", 64, 1, 1 << 20))
+        << 20;
+    cfg.queue_max = static_cast<int>(
+        serve::env_count("DGR_SERVE_QUEUE_MAX", 64, 1, 1 << 20));
+
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--socket") {
+        cfg.socket_path = arg_value(argc, argv, i, "--socket");
+      } else if (a == "--spill-dir") {
+        cfg.ensemble.spill_dir = arg_value(argc, argv, i, "--spill-dir");
+      } else if (a == "--concurrency") {
+        cfg.ensemble.concurrency = static_cast<int>(serve::parse_count(
+            arg_value(argc, argv, i, "--concurrency"), "--concurrency", 1,
+            4096));
+      } else if (a == "--cache-mb") {
+        cfg.ensemble.cache_bytes =
+            static_cast<std::size_t>(serve::parse_count(
+                arg_value(argc, argv, i, "--cache-mb"), "--cache-mb", 1,
+                1 << 20))
+            << 20;
+      } else if (a == "--queue-max") {
+        cfg.queue_max = static_cast<int>(
+            serve::parse_count(arg_value(argc, argv, i, "--queue-max"),
+                               "--queue-max", 1, 1 << 20));
+      } else if (a == "--threads") {
+        exec::ThreadPool::set_global_threads(exec::parse_thread_count(
+            arg_value(argc, argv, i, "--threads"), "--threads"));
+      } else if (a == "--json") {
+        json_path = arg_value(argc, argv, i, "--json");
+      } else {
+        std::fprintf(stderr, "error: unknown flag %s\n", a.c_str());
+        return 2;
+      }
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  obs::MetricsRegistry metrics;
+  obs::install_metrics(&metrics);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  try {
+    serve::Server server(cfg);
+    server.start();
+    std::printf("dgr_serve listening on %s (threads=%d concurrency=%d "
+                "cache=%zuMiB queue_max=%d spill=%s)\n",
+                cfg.socket_path.c_str(), exec::lanes(),
+                server.driver().config().concurrency,
+                server.driver().config().cache_bytes >> 20, cfg.queue_max,
+                cfg.ensemble.spill_dir.empty()
+                    ? "off"
+                    : cfg.ensemble.spill_dir.c_str());
+    std::fflush(stdout);
+
+    // The signal handler only sets a flag; this watcher turns it into a
+    // graceful drain on the main thread.
+    while (!server.draining()) {
+      if (g_signal) server.request_shutdown();
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server.wait();
+    const auto ss = server.stats();
+    std::printf("dgr_serve drained: %llu requests, %llu shed, %llu errors\n",
+                static_cast<unsigned long long>(ss.requests),
+                static_cast<unsigned long long>(ss.shed),
+                static_cast<unsigned long long>(ss.errors));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    obs::install_metrics(nullptr);
+    return 1;
+  }
+
+  obs::install_metrics(nullptr);
+  if (!json_path.empty()) {
+    if (metrics.write_file(json_path))
+      std::printf("dgr_serve wrote metrics to %s\n", json_path.c_str());
+    else
+      std::fprintf(stderr, "dgr_serve: cannot write %s\n", json_path.c_str());
+  }
+  return 0;
+}
