@@ -119,6 +119,17 @@ std::shared_ptr<const Waveform> WaveformCache::get(const ScenarioKey& key,
   return nullptr;
 }
 
+std::shared_ptr<const Waveform> WaveformCache::get_memory(
+    const ScenarioKey& key) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto it = entries_.find(key.bytes);
+  if (it == entries_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru);  // promote to MRU
+  ++stats_.hits_memory;
+  obs::count("cache.hits_memory");
+  return it->second.wf;
+}
+
 void WaveformCache::put(const ScenarioKey& key,
                         std::shared_ptr<const Waveform> wf) {
   std::unique_lock<std::mutex> lk(m_);

@@ -50,6 +50,13 @@ class WaveformCache {
   std::shared_ptr<const Waveform> get(const ScenarioKey& key,
                                       bool* from_disk = nullptr);
 
+  /// Memory-only lookup: like get() but never touches the spill
+  /// directory, so it is cheap enough to call while holding
+  /// latency-sensitive locks. A hit promotes to MRU and counts as a
+  /// memory hit; a miss is NOT counted (this is a re-check, not a
+  /// first-class lookup).
+  std::shared_ptr<const Waveform> get_memory(const ScenarioKey& key);
+
   /// Insert (or refresh) an entry, then evict least-recently-used entries
   /// until the budget holds, spilling them to disk when enabled.
   void put(const ScenarioKey& key, std::shared_ptr<const Waveform> wf);

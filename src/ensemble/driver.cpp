@@ -39,8 +39,9 @@ EnsembleDriver::Ticket EnsembleDriver::submit(const ScenarioConfig& cfg) {
 
   // Cache lookup happens outside m_ (the cache has its own lock, and the
   // disk fault-in path can be slow). A lookup racing a concurrent
-  // completion of the same config either hits (fine) or misses and then
-  // coalesces onto / re-reads the finished entry below.
+  // completion of the same config either hits (fine) or misses — and is
+  // then caught below, under m_, by the inflight_ check or the memory-only
+  // cache re-read.
   const double t0 = monotonic_us();
   bool from_disk = false;
   if (auto wf = cache_.get(key, &from_disk)) {
@@ -61,6 +62,19 @@ EnsembleDriver::Ticket EnsembleDriver::submit(const ScenarioConfig& cfg) {
     obs::count("ensemble.coalesced");
     t.source = Source::kCoalesced;
     t.future = it->second;
+    return t;
+  }
+
+  // The unlocked lookup above can race a completing job: execute() puts
+  // the result into the cache *before* erasing the inflight_ entry, so a
+  // config that is neither in flight nor in the memory cache here really
+  // must be computed. This memory-only re-read (no disk I/O under m_)
+  // closes the miss -> complete -> schedule-duplicate window.
+  if (auto wf = cache_.get_memory(key)) {
+    t.source = Source::kMemory;
+    std::promise<Result> p;
+    p.set_value(std::move(wf));
+    t.future = p.get_future().share();
     return t;
   }
 
@@ -138,14 +152,17 @@ void EnsembleDriver::run_small_jobs() {
       std::lock_guard<std::mutex> lk(m_);
       if (small_queue_.empty()) {
         --active_small_;
-        break;
+        // Notify while still holding m_: the instant the lock is released
+        // with active_small_ == 0 a drain() waiter may complete and the
+        // driver be destroyed, so no member may be touched afterwards.
+        cv_.notify_all();
+        return;
       }
       job = std::move(small_queue_.front());
       small_queue_.pop_front();
     }
     execute(job);
   }
-  cv_.notify_all();  // drain() may be waiting on active_small_ == 0
 }
 
 void EnsembleDriver::dispatcher_loop() {

@@ -58,8 +58,16 @@ struct Request {
   bool full = false;             ///< stream waveform samples after OK
 };
 
+/// Admission bounds shared by every config path into the service (EVOLVE
+/// per-field parses, EVOLVEX hex decodes, server defaults): base/finest in
+/// 1..8, steps in 1..100000, regrid/extract in 1..2^20. Throws dgr::Error
+/// on violation — a hex-encoded config cannot smuggle in an effectively
+/// unbounded evolution that admission control could never shed.
+void validate_scenario(const ensemble::ScenarioConfig& cfg);
+
 /// Parse one request line against the server's default scenario; throws
 /// dgr::Error with a client-presentable message on malformed input.
+/// EVOLVE/EVOLVEX configs are checked with validate_scenario().
 Request parse_request(const std::string& line,
                       const ensemble::ScenarioConfig& defaults);
 

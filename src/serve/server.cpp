@@ -78,10 +78,33 @@ void Server::wait() {
   drained_cv_.wait(lk, [&] { return drain_done_; });
 }
 
+void Server::reap_handlers() {
+  // Joining happens outside conn_m_ so a handler finishing right now can
+  // still take the lock to enqueue its id; anything in finished_ has
+  // already done so and is past its last statement.
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lk(conn_m_);
+    if (finished_.empty()) return;
+    for (const std::thread::id id : finished_) {
+      for (auto it = handlers_.begin(); it != handlers_.end(); ++it) {
+        if (it->get_id() == id) {
+          done.push_back(std::move(*it));
+          handlers_.erase(it);
+          break;
+        }
+      }
+    }
+    finished_.clear();
+  }
+  for (std::thread& t : done) t.join();
+}
+
 void Server::accept_loop() {
   while (!draining_.load()) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int r = ::poll(&pfd, 1, 100);
+    reap_handlers();
     if (r <= 0) continue;  // timeout or EINTR: re-check draining_
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
@@ -101,9 +124,16 @@ void Server::accept_loop() {
   // threads exit once their clients disconnect or go idle.
   driver_->drain();
   {
+    // Join outside conn_m_: a handler exiting right now needs the lock to
+    // enqueue its id in finished_.
+    std::vector<std::thread> rest;
+    {
+      std::lock_guard<std::mutex> lk(conn_m_);
+      rest.swap(handlers_);
+    }
+    for (std::thread& t : rest) t.join();
     std::lock_guard<std::mutex> lk(conn_m_);
-    for (std::thread& t : handlers_) t.join();
-    handlers_.clear();
+    finished_.clear();
   }
   stopped_.store(true);
   {
@@ -157,26 +187,39 @@ void Server::handle_connection(int fd) {
   std::string buf;
   bool open = true;
   while (open && !stopped_.load()) {
-    char chunk[8192];
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      if (draining_.load()) break;  // idle client during drain: close
-      continue;
+    // Only read from the socket while no complete line is buffered: a
+    // pipelined burst larger than max_batch is answered batch by batch
+    // from buf without ever blocking in recv() on a client that is
+    // waiting for those very responses.
+    while (buf.find('\n') == std::string::npos) {
+      char chunk[8192];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (draining_.load() || stopped_.load()) {
+          open = false;  // idle client during drain: close
+          break;
+        }
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {  // EOF or hard error
+        open = false;
+        break;
+      }
+      buf.append(chunk, static_cast<std::size_t>(n));
     }
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF or hard error
-    buf.append(chunk, static_cast<std::size_t>(n));
+    if (!open) break;
 
-    // Batch: every complete line already buffered (bounded by max_batch;
-    // the remainder is picked up next iteration).
+    // Batch: up to max_batch complete lines from buf; the remainder is
+    // processed on the next iteration before any further recv().
     std::vector<std::string> lines;
+    const int max_batch = cfg_.max_batch < 1 ? 1 : cfg_.max_batch;
     std::size_t nl;
-    while (static_cast<int>(lines.size()) < cfg_.max_batch &&
+    while (static_cast<int>(lines.size()) < max_batch &&
            (nl = buf.find('\n')) != std::string::npos) {
       lines.push_back(buf.substr(0, nl));
       buf.erase(0, nl + 1);
     }
-    if (lines.empty()) continue;
 
     std::vector<Pending> batch;
     batch.reserve(lines.size());
@@ -297,6 +340,8 @@ void Server::handle_connection(int fd) {
     if (!out.empty()) send_all(fd, out);
   }
   ::close(fd);
+  std::lock_guard<std::mutex> lk(conn_m_);
+  finished_.push_back(std::this_thread::get_id());
 }
 
 Server::Stats Server::stats() const {

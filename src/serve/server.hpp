@@ -78,6 +78,10 @@ class Server {
  private:
   void accept_loop();
   void handle_connection(int fd);
+  /// Join handler threads whose connections have closed (they enqueue
+  /// their id in finished_ as their last act), so a long-lived daemon
+  /// serving many short connections doesn't accumulate joinable threads.
+  void reap_handlers();
   std::string stats_line();
 
   ServeConfig cfg_;
@@ -88,7 +92,8 @@ class Server {
   std::atomic<int> pending_{0};  ///< admitted EVOLVEs not yet answered
   std::thread acceptor_;
   std::mutex conn_m_;
-  std::vector<std::thread> handlers_;
+  std::vector<std::thread> handlers_;          ///< guarded by conn_m_
+  std::vector<std::thread::id> finished_;      ///< guarded by conn_m_
   mutable std::mutex stats_m_;
   std::condition_variable drained_cv_;
   Stats stats_;

@@ -157,6 +157,23 @@ TEST(Protocol, ParseRequestRejectsMalformedLines) {
   EXPECT_THROW(parse_request("EVOLVEX ab full=2", d), Error);
 }
 
+TEST(Protocol, EvolvexRejectsOutOfBoundsConfigs) {
+  const ensemble::ScenarioConfig defaults = tiny_scenario();
+  // A hex config must clear the same admission bounds as EVOLVE fields —
+  // steps near INT_MAX passes run_scenario's steps>0 envelope but would
+  // tie up the pool for an effectively unbounded evolution.
+  ensemble::ScenarioConfig bad = defaults;
+  bad.steps = 1 << 30;
+  EXPECT_THROW(parse_request(format_evolvex(bad), defaults), Error);
+  bad = defaults;
+  bad.finest_level = 12;
+  EXPECT_THROW(parse_request(format_evolvex(bad), defaults), Error);
+  bad = defaults;
+  bad.regrid_every = 0;
+  EXPECT_THROW(parse_request(format_evolvex(bad), defaults), Error);
+  EXPECT_NO_THROW(parse_request(format_evolvex(defaults), defaults));
+}
+
 // --------------------------------------------------------- server e2e
 
 TEST(Server, PingStatsAndHitMissDigestEquality) {
@@ -268,6 +285,31 @@ TEST(Server, BatchedPipelinedRequestsAnswerInOrder) {
   const auto stats = fields(c.request("STATS"));
   EXPECT_EQ(stats.at("evolutions"), "1")
       << "duplicate EVOLVEs in one batch must not recompute";
+
+  server.request_shutdown();
+  server.wait();
+}
+
+TEST(Server, BurstLargerThanMaxBatchIsFullyAnswered) {
+  ServeConfig cfg;
+  cfg.socket_path = test_socket("burst");
+  cfg.defaults = tiny_scenario();
+  cfg.max_batch = 4;  // force several batches out of one burst
+  Server server(cfg);
+  server.start();
+
+  Client c;
+  c.connect(cfg.socket_path);
+  // One write carrying far more lines than max_batch, then wait for every
+  // response: the handler must keep draining its buffer between batches
+  // instead of blocking in recv() on a client that is itself waiting.
+  constexpr int kPings = 10;
+  std::string burst;
+  for (int i = 0; i < kPings; ++i) burst += "PING\n";
+  c.send_line(burst + "EVOLVE");
+  for (int i = 0; i < kPings; ++i)
+    EXPECT_EQ(c.recv_line(), "PONG") << "response " << i;
+  EXPECT_EQ(fields(c.recv_line()).at(""), "OK");
 
   server.request_shutdown();
   server.wait();
