@@ -81,7 +81,12 @@ class Reporter {
         }
       }
     }
-    if (enabled_) obs::install_metrics(&metrics_);
+    if (enabled_) {
+      // Benches are single-run reports, not cross-thread-count determinism
+      // comparisons, so wall-clock latency histograms are welcome here.
+      metrics_.enable_timing(true);
+      obs::install_metrics(&metrics_);
+    }
     std::printf("  [simd] width=%d (%s), flags: %s\n", simd_active_width(),
                 simd_backend_name(simd_active_width()), simd_march());
   }

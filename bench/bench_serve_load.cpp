@@ -66,13 +66,6 @@ ensemble::ScenarioConfig base_scenario(long steps) {
   return cfg;
 }
 
-double percentile(std::vector<double>& v, double p) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  const auto idx = static_cast<std::size_t>(p * (v.size() - 1));
-  return v[idx];
-}
-
 std::string field(const std::string& line, const std::string& key) {
   const std::string needle = " " + key + "=";
   const auto pos = line.find(needle);
@@ -233,26 +226,29 @@ int main(int argc, char** argv) {
   // Classification: hits are served-from-cache responses (mem|disk); a
   // coalesced join waits on the in-flight evolution, so it belongs to
   // neither latency bucket but does count as deduplicated for hit rate.
-  std::vector<double> hit_us, miss_us;
+  // Quantiles come from the shared log-scale obs::Histogram (the same
+  // estimator the live daemon's METRICS exposition uses) instead of a
+  // hand-rolled sorted-vector percentile.
+  obs::Histogram hit_us, miss_us;
   long n_mem = 0, n_disk = 0, n_join = 0, n_miss = 0;
   for (const Sample& s : samples) {
     if (s.source == "mem" || s.source == "disk") {
-      hit_us.push_back(s.latency_us);
+      hit_us.observe(s.latency_us);
       (s.source == "mem" ? n_mem : n_disk)++;
     } else if (s.source == "join") {
       ++n_join;
     } else {
-      miss_us.push_back(s.latency_us);
+      miss_us.observe(s.latency_us);
       ++n_miss;
     }
   }
   const long answered = static_cast<long>(samples.size());
   const double hit_rate =
       answered ? double(n_mem + n_disk + n_join) / double(answered) : 0;
-  const double p50_hit = percentile(hit_us, 0.50);
-  const double p99_hit = percentile(hit_us, 0.99);
-  const double p50_miss = percentile(miss_us, 0.50);
-  const double p99_miss = percentile(miss_us, 0.99);
+  const double p50_hit = hit_us.p50();
+  const double p99_hit = hit_us.p99();
+  const double p50_miss = miss_us.p50();
+  const double p99_miss = miss_us.p99();
   const double throughput = wall_s > 0 ? answered / wall_s : 0;
 
   std::printf("  answered=%ld (miss=%ld mem=%ld disk=%ld join=%ld) "

@@ -282,6 +282,14 @@ DistResult evolve_distributed(std::shared_ptr<const mesh::Mesh> mesh,
       obs::count("dist.recovery.count");
       obs::count("dist.recovery.lost_steps", std::uint64_t(lost));
       obs::gauge_set("dist.recovery.t_detect", t_detect);
+      // Preserve the flight-recorder timeline that led into the failure —
+      // the rings keep filling during re-execution, so dump now, while
+      // the pre-fault spans are still in the buffers.
+      if (!cfg.flightrec_path.empty()) {
+        obs::flightrec::record_instant("dist.recovery", "fault",
+                                       t_detect * 1e6);
+        obs::flightrec::dump(cfg.flightrec_path);
+      }
       mark("recovery");
     };
 

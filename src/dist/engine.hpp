@@ -70,6 +70,10 @@ struct DistConfig {
   std::string checkpoint_path;
   /// Fault injection plan (see fault.hpp); inert unless `enabled`.
   FaultConfig faults;
+  /// Dump the flight recorder here after each fault recovery, preserving
+  /// the spans leading into the failure ("" disables — the default, so
+  /// tests exercising recovery don't write files as a side effect).
+  std::string flightrec_path;
 
   /// Restart support: resume from a checkpoint's time/step so the
   /// regrid/checkpoint/extraction cadences align with the original run.

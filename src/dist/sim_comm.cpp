@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace dgr::dist {
 
@@ -217,6 +218,11 @@ void SimComm::wait_all(int r, std::vector<Request>& reqs) {
       std::max(0.0, std::min(t_wait, arrival) - t_post_min);
   s.t_comm_exposed += exposed;
   s.t_comm_hidden += hidden;
+  // Virtual-clock durations are deterministic model outputs, so these
+  // histograms are safe to record unconditionally (unlike wall-clock
+  // timing histograms, which are gated behind enable_timing).
+  obs::observe_hist("dist.halo.exposed_us", exposed * kUs);
+  obs::observe_hist("dist.halo.hidden_us", hidden * kUs);
   if (trace_) {
     // Halo row: the comm window split into its hidden and exposed parts.
     const double t_split = std::min(t_wait, arrival);

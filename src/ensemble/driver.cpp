@@ -119,6 +119,7 @@ EnsembleDriver::Result EnsembleDriver::evolve(const ScenarioConfig& cfg,
 void EnsembleDriver::execute(const JobPtr& job) {
   const double t_start = monotonic_us();
   obs::observe("ensemble.queue_us", t_start - job->t_submit_us);
+  obs::observe_hist_timing("ensemble.queue_us", t_start - job->t_submit_us);
   Result result;
   try {
     obs::ScopedSpan span("ensemble.evolve", "ensemble");
@@ -198,6 +199,11 @@ void EnsembleDriver::drain() {
 EnsembleDriver::Stats EnsembleDriver::stats() const {
   std::lock_guard<std::mutex> lk(m_);
   return stats_;
+}
+
+int EnsembleDriver::queue_depth() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return int(small_queue_.size() + large_queue_.size());
 }
 
 }  // namespace dgr::ensemble

@@ -97,6 +97,9 @@ class EnsembleDriver {
   WaveformCache& cache() { return cache_; }
   const EnsembleConfig& config() const { return cfg_; }
   Stats stats() const;
+  /// Jobs queued (small + large) but not yet picked up by a runner — the
+  /// instantaneous backlog behind the serve METRICS queue-depth gauge.
+  int queue_depth() const;
 
  private:
   struct Job {

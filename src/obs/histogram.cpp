@@ -1,0 +1,103 @@
+#include "obs/histogram.hpp"
+
+#include <cmath>
+
+#include "common/json.hpp"
+
+namespace dgr::obs {
+
+namespace {
+// 2^(k/4) for k = 0..3, shortest round-trip doubles. Sub-bucket thresholds
+// compare the frexp mantissa (in [0.5, 1)) against kMantissa[k] / 2.
+constexpr double kMantissa[Histogram::kSubBuckets] = {
+    1.0, 1.189207115002721, 1.4142135623730951, 1.681792830507429};
+}  // namespace
+
+int Histogram::bucket_index(double v) {
+  if (!(v > 0)) return 0;  // <= 0 and NaN clamp low
+  int exp = 0;
+  const double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  if (std::isinf(v)) return kBuckets - 1;
+  const int octave = exp - 1 - kMinExp2;  // v in [2^(exp-1), 2^exp)
+  if (octave < 0) return 0;
+  if (octave >= kMaxExp2 - kMinExp2) return kBuckets - 1;
+  int sub = 0;
+  if (m >= kMantissa[3] * 0.5) sub = 3;
+  else if (m >= kMantissa[2] * 0.5) sub = 2;
+  else if (m >= kMantissa[1] * 0.5) sub = 1;
+  return octave * kSubBuckets + sub;
+}
+
+double Histogram::bucket_lower(int i) {
+  return std::ldexp(kMantissa[i % kSubBuckets], kMinExp2 + i / kSubBuckets);
+}
+
+void Histogram::observe(double v) {
+  buckets_[bucket_index(v)] += 1;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  count_ += 1;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+}
+
+double Histogram::quantile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  // Rank of the target observation, 1-based.
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(p * double(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = buckets_[i];
+    if (c == 0) continue;
+    if (rank <= cum + c) {
+      // Interpolate by the rank's position inside this bucket.
+      const double frac = (double(rank - cum) - 0.5) / double(c);
+      double q = bucket_lower(i) + frac * (bucket_upper(i) - bucket_lower(i));
+      if (q < min_) q = min_;
+      if (q > max_) q = max_;
+      return q;
+    }
+    cum += c;
+  }
+  return max_;  // unreachable when counts are consistent
+}
+
+void Histogram::reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  min_ = max_ = 0;
+}
+
+std::string Histogram::json() const {
+  using jsonu::num;
+  std::string out = "{\"count\":" + num(count_);
+  out += ",\"min\":" + num(min());
+  out += ",\"max\":" + num(max());
+  out += ",\"p50\":" + num(p50());
+  out += ",\"p90\":" + num(p90());
+  out += ",\"p99\":" + num(p99());
+  out += ",\"p999\":" + num(p999());
+  out += "}";
+  return out;
+}
+
+}  // namespace dgr::obs

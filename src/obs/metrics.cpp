@@ -34,6 +34,13 @@ std::string MetricsRegistry::json() const {
            ",\"mean\":" + num(s.mean()) + "}";
     first = false;
   }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [k, h] : histograms_) {
+    if (!first) out += ",";
+    out += quote(k) + ":" + h.json();
+    first = false;
+  }
   out += "}}";
   return out;
 }
@@ -49,6 +56,56 @@ bool MetricsRegistry::write_file(const std::string& path) const {
   std::fclose(f);
   log::info("metrics: wrote " + path);
   return ok;
+}
+
+namespace {
+
+std::string prom_name(const std::string& name) {
+  std::string out = "dgr_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::prometheus() const {
+  using jsonu::num;
+  std::lock_guard<std::mutex> lk(m_);
+  std::string out;
+  for (const auto& [k, v] : counters_) {
+    const std::string n = prom_name(k);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + num(v) + "\n";
+  }
+  for (const auto& [k, v] : gauges_) {
+    const std::string n = prom_name(k);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + num(v) + "\n";
+  }
+  for (const auto& [k, s] : summaries_) {
+    const std::string n = prom_name(k);
+    out += "# TYPE " + n + " summary\n";
+    out += n + "_count " + num(s.count) + "\n";
+    out += n + "_sum " + num(s.sum) + "\n";
+    out += n + "_min " + num(s.count ? s.min : 0.0) + "\n";
+    out += n + "_max " + num(s.count ? s.max : 0.0) + "\n";
+  }
+  for (const auto& [k, h] : histograms_) {
+    const std::string n = prom_name(k);
+    out += "# TYPE " + n + " summary\n";
+    out += n + "{quantile=\"0.5\"} " + num(h.p50()) + "\n";
+    out += n + "{quantile=\"0.9\"} " + num(h.p90()) + "\n";
+    out += n + "{quantile=\"0.99\"} " + num(h.p99()) + "\n";
+    out += n + "{quantile=\"0.999\"} " + num(h.p999()) + "\n";
+    out += n + "_count " + num(h.count()) + "\n";
+    out += n + "_min " + num(h.min()) + "\n";
+    out += n + "_max " + num(h.max()) + "\n";
+  }
+  return out;
 }
 
 }  // namespace dgr::obs

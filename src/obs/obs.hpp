@@ -4,11 +4,15 @@
 /// MetricsRegistry can be installed (not owned) for the duration of a run;
 /// instrumented code emits through the helpers below, which are cheap
 /// no-ops (one pointer load and branch) when nothing is installed — the
-/// solver and runtime hot paths pay nothing by default.
+/// solver and runtime hot paths pay nothing by default. ScopedSpan
+/// additionally feeds the always-on flight recorder (obs/flightrec.hpp),
+/// so the last moments before a crash are reconstructable even when no
+/// trace session was ever installed.
 
 #include <cstdint>
 
 #include "common/clock.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -23,24 +27,29 @@ MetricsRegistry* metrics();
 void install_trace(TraceSession* session);
 void install_metrics(MetricsRegistry* registry);
 
-/// RAII host-domain span on the installed session's default host track.
-/// No-op when no session is installed at construction.
+/// RAII host-domain span on the installed session's default host track,
+/// mirrored into the flight recorder's per-thread ring at destruction.
+/// `name` and `cat` must be static strings (the flight recorder stores
+/// the pointers) — which every call site already satisfies.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name, const char* cat = "host")
-      : session_(trace()) {
-    if (session_)
-      session_->span_begin(session_->host_track(), name, cat,
-                           monotonic_us());
+      : session_(trace()), name_(name), cat_(cat), t0_(monotonic_us()) {
+    if (session_) session_->span_begin(session_->host_track(), name, cat, t0_);
   }
   ~ScopedSpan() {
-    if (session_) session_->span_end(session_->host_track(), monotonic_us());
+    const double t1 = monotonic_us();
+    if (session_) session_->span_end(session_->host_track(), t1);
+    flightrec::record_span(name_, cat_, t0_, t1 - t0_);
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
  private:
   TraceSession* session_;
+  const char* name_;
+  const char* cat_;
+  double t0_;
 };
 
 // Metric helpers: forward to the installed registry, no-op otherwise.
@@ -52,6 +61,21 @@ inline void gauge_set(const char* name, double v) {
 }
 inline void observe(const char* name, double v) {
   if (MetricsRegistry* m = metrics()) m->observe(name, v);
+}
+/// Histogram of deterministic values (virtual-clock durations, sizes):
+/// recorded whenever a registry is installed.
+inline void observe_hist(const char* name, double v) {
+  if (MetricsRegistry* m = metrics()) m->observe_hist(name, v);
+}
+/// Histogram of WALL-CLOCK durations: recorded only when the installed
+/// registry opted in via enable_timing(). The split keeps whole-registry
+/// json() snapshots bitwise-comparable across thread counts in the
+/// determinism tests while the serve daemon and benches still get real
+/// latency quantiles.
+inline void observe_hist_timing(const char* name, double v) {
+  if (MetricsRegistry* m = metrics()) {
+    if (m->timing_enabled()) m->observe_hist(name, v);
+  }
 }
 
 }  // namespace dgr::obs

@@ -142,6 +142,13 @@ Request parse_request(const std::string& line,
   } else if (verb == "STATS") {
     DGR_CHECK_MSG(toks.size() == 1, "STATS takes no arguments");
     req.kind = Request::Kind::kStats;
+  } else if (verb == "METRICS") {
+    DGR_CHECK_MSG(toks.size() == 1, "METRICS takes no arguments");
+    req.kind = Request::Kind::kMetrics;
+  } else if (verb == "DUMP") {
+    DGR_CHECK_MSG(toks.size() <= 2, "DUMP takes at most a path argument");
+    req.kind = Request::Kind::kDump;
+    if (toks.size() == 2) req.dump_path = toks[1];
   } else if (verb == "SHUTDOWN") {
     DGR_CHECK_MSG(toks.size() == 1, "SHUTDOWN takes no arguments");
     req.kind = Request::Kind::kShutdown;

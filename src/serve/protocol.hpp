@@ -6,6 +6,13 @@
 ///
 ///   PING                      -> PONG
 ///   STATS                     -> STATS key=value ...
+///   METRICS                   -> Prometheus-style text exposition of the
+///                                live registry (latency quantiles by
+///                                cache outcome, hit rate, queue depth,
+///                                in-flight count), terminated by END
+///   DUMP [path]               -> OK flightrec=<path>; writes the flight
+///                                recorder's ring buffers as Perfetto-
+///                                loadable JSON (ERR when disabled/empty)
 ///   EVOLVE k=v ...            -> OK hash=<16hex> source=miss|join|mem|disk
 ///                                wait_us=<n> samples=<n> digest=<16hex>
 ///   EVOLVEX <hex>             -> same, config given as the hex canonical
@@ -52,10 +59,12 @@ std::string to_hex(const std::string& bytes);
 std::string from_hex(const std::string& hex);  ///< throws on odd/non-hex
 
 struct Request {
-  enum class Kind { kPing, kStats, kEvolve, kShutdown, kQuit };
+  enum class Kind { kPing, kStats, kMetrics, kDump, kEvolve, kShutdown,
+                    kQuit };
   Kind kind = Kind::kPing;
   ensemble::ScenarioConfig cfg;  ///< kEvolve only
   bool full = false;             ///< stream waveform samples after OK
+  std::string dump_path;         ///< kDump only; "" = server default
 };
 
 /// Admission bounds shared by every config path into the service (EVOLVE

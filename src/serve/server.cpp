@@ -142,6 +142,9 @@ void Server::accept_loop() {
     drain_done_ = true;
   }
   obs::gauge_set("serve.drained", 1.0);
+  // A gracefully drained daemon leaves the same last-moments timeline a
+  // crashed one would (dump() no-ops when disabled or nothing recorded).
+  if (cfg_.flightrec_on_drain) obs::flightrec::dump(cfg_.flightrec_path);
   drained_cv_.notify_all();
 }
 
@@ -169,8 +172,44 @@ std::string Server::stats_line() {
   s += " evictions=" + std::to_string(cs.evictions);
   s += " spills=" + std::to_string(cs.spills);
   s += " cache_bytes=" + std::to_string(cs.bytes);
+  // Deduplication rate over admitted EVOLVEs: cache hits (mem + disk) and
+  // coalesced joins all avoided an evolution.
+  const std::uint64_t hits = cs.hits_memory + cs.hits_disk + ds.coalesced;
+  s += " hit_rate=" +
+       jsonu::num(ss.requests ? double(hits) / double(ss.requests) : 0.0);
+  s += " inflight=" + std::to_string(pending_.load());
+  s += " queue_depth=" + std::to_string(driver_->queue_depth());
   s += " draining=" + std::to_string(draining_.load() ? 1 : 0);
   return s;
+}
+
+std::string Server::metrics_text() {
+  obs::MetricsRegistry* reg = obs::metrics();
+  if (!reg) return "END";
+  // Point-in-time gauges ride along with the accumulated counters and
+  // latency histograms, so one METRICS scrape answers "how loaded is it
+  // right now" as well as "how has it been behaving".
+  const auto ds = driver_->stats();
+  const auto cs = driver_->cache().stats();
+  const std::uint64_t hits = cs.hits_memory + cs.hits_disk + ds.coalesced;
+  std::uint64_t requests;
+  {
+    std::lock_guard<std::mutex> lk(stats_m_);
+    requests = stats_.requests;
+  }
+  reg->set("serve.hit_rate",
+           requests ? double(hits) / double(requests) : 0.0);
+  reg->set("serve.inflight", double(pending_.load()));
+  reg->set("serve.queue_depth", double(driver_->queue_depth()));
+  return reg->prometheus() + "END";
+}
+
+std::string Server::dump_response(const std::string& path) {
+  std::string dest = path.empty() ? cfg_.flightrec_path : path;
+  if (dest.empty()) dest = obs::flightrec::dump_path();
+  if (!obs::flightrec::dump(dest))
+    return "ERR flightrec dump failed (disabled, empty, or unwritable)";
+  return "OK flightrec=" + dest;
 }
 
 void Server::handle_connection(int fd) {
@@ -246,6 +285,12 @@ void Server::handle_connection(int fd) {
         case Request::Kind::kStats:
           p.text = stats_line();
           break;
+        case Request::Kind::kMetrics:
+          p.text = metrics_text();
+          break;
+        case Request::Kind::kDump:
+          p.text = dump_response(req.dump_path);
+          break;
         case Request::Kind::kQuit:
           open = false;
           break;
@@ -304,6 +349,23 @@ void Server::handle_connection(int fd) {
         const auto wf = p.ticket.future.get();
         const double wait_us = monotonic_us() - p.t_submit_us;
         obs::observe("serve.wait_us", wait_us);
+        // Latency quantiles split by cache outcome (the METRICS view of
+        // the service's cache effectiveness). Literal names: the flight
+        // recorder and registry keep the pointers/strings they're given.
+        switch (p.ticket.source) {
+          case ensemble::Source::kComputed:
+            obs::observe_hist_timing("serve.latency_us.miss", wait_us);
+            break;
+          case ensemble::Source::kCoalesced:
+            obs::observe_hist_timing("serve.latency_us.join", wait_us);
+            break;
+          case ensemble::Source::kMemory:
+            obs::observe_hist_timing("serve.latency_us.mem", wait_us);
+            break;
+          case ensemble::Source::kDisk:
+            obs::observe_hist_timing("serve.latency_us.disk", wait_us);
+            break;
+        }
         const std::string blob = ensemble::serialize(*wf);
         resp = "OK hash=" + hex16(p.ticket.hash) +
                " source=" + ensemble::source_name(p.ticket.source) +

@@ -20,7 +20,13 @@
 /// connections, answers new EVOLVEs with DRAINING, lets every admitted
 /// request finish, then wakes wait(). Per-request observability feeds the
 /// installed obs::MetricsRegistry: serve.requests / serve.shed /
-/// serve.source.* counters and serve.wait_us / serve.batch summaries.
+/// serve.source.* counters, serve.wait_us / serve.batch summaries, and
+/// (when the registry opted into wall-clock timing) per-cache-outcome
+/// latency histograms serve.latency_us.{miss,join,mem,disk} — the
+/// quantiles behind the METRICS Prometheus exposition. After a completed
+/// drain the flight recorder is dumped (flightrec_on_drain), so a
+/// gracefully stopped daemon leaves its last-moments timeline next to a
+/// crashed one's.
 
 #include <atomic>
 #include <condition_variable>
@@ -45,6 +51,14 @@ struct ServeConfig {
   ensemble::EnsembleConfig ensemble;
   /// Defaults applied to EVOLVE requests with omitted fields.
   ensemble::ScenarioConfig defaults;
+  /// Flight-recorder dump destination for DUMP and the drain dump; ""
+  /// falls back to obs::flightrec::dump_path() (DGR_FLIGHTREC_PATH or
+  /// ./flightrec.json).
+  std::string flightrec_path;
+  /// Dump the flight recorder after a completed graceful drain. Off by
+  /// default so embedded servers (tests, benches) don't write files as a
+  /// side effect; the dgr_serve daemon turns it on.
+  bool flightrec_on_drain = false;
 };
 
 class Server {
@@ -83,6 +97,12 @@ class Server {
   /// serving many short connections doesn't accumulate joinable threads.
   void reap_handlers();
   std::string stats_line();
+  /// METRICS response body: refresh the live serve.* gauges in the
+  /// installed registry, then its Prometheus exposition + "END".
+  std::string metrics_text();
+  /// DUMP response: write the flight recorder to `path` (or the config /
+  /// global default) and report the destination.
+  std::string dump_response(const std::string& path);
 
   ServeConfig cfg_;
   std::unique_ptr<ensemble::EnsembleDriver> driver_;

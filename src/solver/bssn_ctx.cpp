@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "exec/parallel.hpp"
 #include "mesh/sampling.hpp"
+#include "obs/obs.hpp"
 
 namespace dgr::solver {
 
@@ -104,6 +105,13 @@ void RhsPipeline::compute(const BssnState& u, BssnState& rhs,
   if (fused_kernel_ && static_cast<int>(fws_.size()) < exec::lanes())
     fws_.resize(exec::lanes());
 
+  // Per-call phase durations feed the timing-gated histograms below: the
+  // banked PhaseTimer totals are snapshotted here and the deltas observed
+  // once the call completes.
+  const double t_unzip0 = phases ? phases->unzip.total_seconds() : 0.0;
+  const double t_rhs0 = phases ? phases->rhs.total_seconds() : 0.0;
+  const double t_zip0 = phases ? phases->zip.total_seconds() : 0.0;
+
   // Each phase of a chunk runs data-parallel on the host pool. Split axes
   // preserve the serial arithmetic and op counts exactly: unzip splits by
   // VARIABLE (per-var work is independent; an octant split would re-count
@@ -168,6 +176,16 @@ void RhsPipeline::compute(const BssnState& u, BssnState& rhs,
                   });
       if (phases) phases->zip.stop();
     }
+  }
+
+  if (phases) {
+    obs::observe_hist_timing(
+        "solver.rhs.unzip_us",
+        (phases->unzip.total_seconds() - t_unzip0) * 1e6);
+    obs::observe_hist_timing(
+        "solver.rhs.rhs_us", (phases->rhs.total_seconds() - t_rhs0) * 1e6);
+    obs::observe_hist_timing(
+        "solver.rhs.zip_us", (phases->zip.total_seconds() - t_zip0) * 1e6);
   }
 }
 

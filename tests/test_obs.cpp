@@ -1,23 +1,35 @@
 /// \file test_obs.cpp
 /// \brief Observability tests: the Chrome-trace exporter pinned down by a
 /// golden file (byte-exact), the MetricsRegistry JSON snapshot, the
-/// install/uninstall no-op contract of the RAII span guards, the DGR_LOG /
-/// JSON-lines log sink, and the end-to-end guarantee that a 2-rank
-/// evolve_distributed run produces valid, deterministic Chrome-trace JSON
-/// (per-rank pids/tids, B/E pairing, monotone span timestamps per track).
+/// log-scale Histogram (bucket math, quantiles vs a sorted reference,
+/// bitwise-deterministic snapshots across thread counts), the Prometheus
+/// exposition, the flight recorder (golden dump with ring wraparound,
+/// crash-handler dump), the install/uninstall no-op contract of the RAII
+/// span guards, the DGR_LOG / JSON-lines log sink, and the end-to-end
+/// guarantee that a 2-rank evolve_distributed run produces valid,
+/// deterministic Chrome-trace JSON (per-rank pids/tids, B/E pairing,
+/// monotone span timestamps per track).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bssn/initial_data.hpp"
+#include "common/json_read.hpp"
 #include "common/log.hpp"
 #include "dist/engine.hpp"
+#include "exec/parallel.hpp"
+#include "exec/pool.hpp"
 #include "obs/obs.hpp"
 
 namespace dgr::obs {
@@ -110,11 +122,14 @@ TEST(Metrics, JsonSnapshotIsSortedAndExact) {
   m.set("g", 1.5);
   m.observe("lat", 2);
   m.observe("lat", 4);
+  m.observe_hist("h", 2);
   EXPECT_EQ(m.json(),
             "{\"counters\":{\"a.count\":1,\"b.count\":2},"
             "\"gauges\":{\"g\":1.5},"
             "\"summaries\":{\"lat\":{\"count\":2,\"sum\":6,\"min\":2,"
-            "\"max\":4,\"mean\":3}}}");
+            "\"max\":4,\"mean\":3}},"
+            "\"histograms\":{\"h\":{\"count\":1,\"min\":2,\"max\":2,"
+            "\"p50\":2,\"p90\":2,\"p99\":2,\"p999\":2}}}");
 }
 
 TEST(Metrics, AccessorsAndReset) {
@@ -128,11 +143,263 @@ TEST(Metrics, AccessorsAndReset) {
   m.set("g", -1.0);
   EXPECT_EQ(m.gauge("g"), -1.0);
   m.observe("s", 5.0);
-  ASSERT_NE(m.summary("s"), nullptr);
+  ASSERT_TRUE(m.summary("s").has_value());
   EXPECT_EQ(m.summary("s")->count, 1u);
-  EXPECT_EQ(m.summary("missing"), nullptr);
+  EXPECT_FALSE(m.summary("missing").has_value());
+  m.observe_hist("h", 5.0);
+  ASSERT_TRUE(m.histogram("h").has_value());
+  EXPECT_EQ(m.histogram("h")->count(), 1u);
+  EXPECT_FALSE(m.histogram("missing").has_value());
   m.reset();
   EXPECT_TRUE(m.empty());
+}
+
+TEST(Metrics, SnapshotIsByValueAndCoherent) {
+  MetricsRegistry m;
+  m.add("c", 1);
+  m.set("g", 2.0);
+  m.observe("s", 3.0);
+  m.observe_hist("h", 4.0);
+  const MetricsRegistry::Snapshot snap = m.snapshot();
+  // Mutations after the snapshot must not show through the copy.
+  m.add("c", 100);
+  m.observe_hist("h", 400.0);
+  EXPECT_EQ(snap.counters.at("c"), 1u);
+  EXPECT_EQ(snap.gauges.at("g"), 2.0);
+  EXPECT_EQ(snap.summaries.at("s").count, 1u);
+  EXPECT_EQ(snap.histograms.at("h").count(), 1u);
+  EXPECT_EQ(m.counter("c"), 101u);
+}
+
+TEST(Metrics, TimingFlagGatesObserveHistTiming) {
+  MetricsRegistry m;
+  install_metrics(&m);
+  observe_hist_timing("wall.us", 12.0);  // default: timing disabled
+  EXPECT_FALSE(m.histogram("wall.us").has_value());
+  observe_hist("virtual.us", 12.0);  // value histograms are unconditional
+  EXPECT_TRUE(m.histogram("virtual.us").has_value());
+  m.enable_timing(true);
+  EXPECT_TRUE(m.timing_enabled());
+  observe_hist_timing("wall.us", 12.0);
+  install_metrics(nullptr);
+  ASSERT_TRUE(m.histogram("wall.us").has_value());
+  EXPECT_EQ(m.histogram("wall.us")->count(), 1u);
+}
+
+// ----------------------------------------------------------- histogram --
+
+TEST(Histogram, BucketBoundsAndIndexAgree) {
+  // Every value lands in a bucket whose [lower, upper) brackets it, and
+  // the exact bucket boundaries index into themselves (half-open).
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const double lo = Histogram::bucket_lower(i);
+    const double hi = Histogram::bucket_upper(i);
+    ASSERT_LT(lo, hi);
+    EXPECT_EQ(Histogram::bucket_index(lo), i);
+    const double mid = lo + 0.4 * (hi - lo);
+    EXPECT_EQ(Histogram::bucket_index(mid), i);
+  }
+  // Clamping: non-positive, NaN, below-range low; huge and +inf high.
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-7.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(std::nan("")), 0);
+  EXPECT_EQ(Histogram::bucket_index(1e-9), 0);
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_index(HUGE_VAL), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, QuantilesTrackSortedReference) {
+  // A deterministic LCG stream spanning several orders of magnitude; the
+  // histogram's quantiles must agree with the exact sorted-vector answer
+  // to within the bucket resolution (2^(1/4)-1 ~ 19%).
+  Histogram h;
+  std::vector<double> ref;
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (int i = 0; i < 20000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const double u = double(x >> 11) / double(1ull << 53);  // [0, 1)
+    const double v = std::exp(2.0 + 8.0 * u);               // ~7.4 .. 1.6e4
+    h.observe(v);
+    ref.push_back(v);
+  }
+  std::sort(ref.begin(), ref.end());
+  for (const double p : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact =
+        ref[std::size_t(std::ceil(p * double(ref.size())) - 1)];
+    const double est = h.quantile(p);
+    EXPECT_NEAR(est / exact, 1.0, 0.20)
+        << "p=" << p << " exact=" << exact << " est=" << est;
+  }
+  EXPECT_EQ(h.count(), 20000u);
+  EXPECT_EQ(h.min(), ref.front());
+  EXPECT_EQ(h.max(), ref.back());
+  // Degenerate single-value histogram answers exactly.
+  Histogram one;
+  one.observe(42.0);
+  EXPECT_EQ(one.p50(), 42.0);
+  EXPECT_EQ(one.p999(), 42.0);
+  EXPECT_EQ(Histogram().quantile(0.5), 0.0);
+}
+
+TEST(Histogram, MergeMatchesCombinedFeed) {
+  Histogram a, b, all;
+  for (int i = 1; i <= 100; ++i) {
+    (i % 2 ? a : b).observe(double(i));
+    all.observe(double(i));
+  }
+  a.merge(b);
+  EXPECT_EQ(a.json(), all.json());
+  Histogram empty;
+  a.merge(empty);  // merging an empty histogram is a no-op
+  EXPECT_EQ(a.json(), all.json());
+}
+
+TEST(Histogram, SnapshotBitwiseIdenticalAcrossThreadCounts) {
+  // The same observation multiset fed through the registry from 1-lane
+  // and 4-lane parallel regions must produce byte-identical registry
+  // JSON — the property that lets instrumented runs stay inside the
+  // cross-thread-count determinism tests.
+  const auto run = [](int threads) {
+    exec::ThreadPool::set_global_threads(threads);
+    MetricsRegistry reg;
+    install_metrics(&reg);
+    exec::parallel_for(0, 5000, 64, [](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i)
+        observe_hist("det.h", 1.0 + double((i * 37) % 1000));
+    });
+    install_metrics(nullptr);
+    return reg.json();
+  };
+  const std::string one = run(1);
+  const std::string four = run(4);
+  exec::ThreadPool::set_global_threads(exec::ThreadPool::configured_threads());
+  EXPECT_EQ(one, four);
+  EXPECT_NE(one.find("\"det.h\":{\"count\":5000"), std::string::npos);
+}
+
+// ---------------------------------------------------------- prometheus --
+
+TEST(Metrics, PrometheusExposition) {
+  MetricsRegistry m;
+  m.add("serve.requests", 3);
+  m.set("serve.queue-depth", 2.0);  // '-' sanitized to '_'
+  m.observe("ens.wait", 4.0);
+  m.observe("ens.wait", 6.0);
+  for (int i = 0; i < 100; ++i) m.observe_hist("serve.latency_us.mem", 8.0);
+  const std::string p = m.prometheus();
+  EXPECT_NE(p.find("# TYPE dgr_serve_requests counter\n"
+                   "dgr_serve_requests 3\n"),
+            std::string::npos);
+  EXPECT_NE(p.find("# TYPE dgr_serve_queue_depth gauge\n"
+                   "dgr_serve_queue_depth 2\n"),
+            std::string::npos);
+  EXPECT_NE(p.find("dgr_ens_wait_count 2\n"), std::string::npos);
+  EXPECT_NE(p.find("dgr_ens_wait_sum 10\n"), std::string::npos);
+  EXPECT_NE(p.find("# TYPE dgr_serve_latency_us_mem summary\n"),
+            std::string::npos);
+  EXPECT_NE(p.find("dgr_serve_latency_us_mem{quantile=\"0.5\"} 8\n"),
+            std::string::npos);
+  EXPECT_NE(p.find("dgr_serve_latency_us_mem{quantile=\"0.999\"} 8\n"),
+            std::string::npos);
+  EXPECT_NE(p.find("dgr_serve_latency_us_mem_count 100\n"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------ flight recorder --
+
+TEST(FlightRec, GoldenDumpWithRingWraparound) {
+  flightrec::reset();
+  flightrec::set_enabled(true);
+  flightrec::set_capacity_bytes(4 * sizeof(flightrec::Entry));
+  ASSERT_EQ(flightrec::capacity_entries(), 4u);
+  // Six events into a 4-entry ring: the two oldest fall off the end.
+  flightrec::record_span("e0", "t", 0.0, 1.0);
+  flightrec::record_span("e1", "t", 1.0, 1.0);
+  flightrec::record_span("e2", "t", 2.0, 1.0);
+  flightrec::record_span("e3", "t", 3.0, 1.0);
+  flightrec::record_instant("mark", "t", 4.0);
+  flightrec::record_span("e5", "t", 5.0, 1.5);
+  EXPECT_EQ(flightrec::recorded_entries(), 4u);
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"e2\",\"cat\":\"t\",\"ph\":\"X\",\"pid\":1,\"tid\":0,"
+      "\"ts\":2,\"dur\":1},\n"
+      "{\"name\":\"e3\",\"cat\":\"t\",\"ph\":\"X\",\"pid\":1,\"tid\":0,"
+      "\"ts\":3,\"dur\":1},\n"
+      "{\"name\":\"mark\",\"cat\":\"t\",\"ph\":\"i\",\"pid\":1,\"tid\":0,"
+      "\"ts\":4,\"s\":\"t\"},\n"
+      "{\"name\":\"e5\",\"cat\":\"t\",\"ph\":\"X\",\"pid\":1,\"tid\":0,"
+      "\"ts\":5,\"dur\":1.5}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(flightrec::dump_json(), expected);
+
+  // dump() writes the same bytes to disk, and the result parses as JSON
+  // with the expected traceEvents array (Perfetto-loadable shape).
+  const std::string path = testing::TempDir() + "dgr_flightrec_test.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(flightrec::dump(path));
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), expected);
+  std::string err;
+  const auto parsed = jsonu::parse(ss.str(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  ASSERT_NE(parsed->get("traceEvents"), nullptr);
+  EXPECT_EQ(parsed->get("traceEvents")->arr.size(), 4u);
+  EXPECT_EQ(parsed->get("traceEvents")->arr[3].get_str("name"), "e5");
+  std::remove(path.c_str());
+  flightrec::reset();
+}
+
+TEST(FlightRec, DisabledRecordsAndDumpsNothing) {
+  flightrec::reset();
+  flightrec::set_enabled(false);
+  flightrec::record_span("dropped", "t", 0.0, 1.0);
+  EXPECT_EQ(flightrec::recorded_entries(), 0u);
+  EXPECT_FALSE(flightrec::dump(testing::TempDir() + "dgr_fr_disabled.json"));
+  flightrec::set_enabled(true);
+  flightrec::reset();
+}
+
+TEST(FlightRec, ScopedSpanFeedsRecorder) {
+  flightrec::reset();
+  flightrec::set_enabled(true);
+  install_trace(nullptr);  // no session: recorder still captures the span
+  { ScopedSpan span("fr.span", "test"); }
+  EXPECT_EQ(flightrec::recorded_entries(), 1u);
+  EXPECT_NE(flightrec::dump_json().find("\"name\":\"fr.span\""),
+            std::string::npos);
+  flightrec::reset();
+}
+
+using FlightRecDeathTest = ::testing::Test;
+
+TEST(FlightRecDeathTest, CrashHandlerDumpsAndReRaises) {
+  const std::string path = testing::TempDir() + "dgr_flightrec_crash.json";
+  std::remove(path.c_str());
+  EXPECT_DEATH(
+      {
+        flightrec::reset();
+        flightrec::set_enabled(true);
+        flightrec::install_crash_handler(path.c_str());
+        flightrec::record_span("before-crash", "test", 1.0, 2.0);
+        std::raise(SIGSEGV);
+      },
+      "");
+  // The child dumped before dying of the original signal.
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good()) << "crash handler did not write " << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  std::string err;
+  const auto parsed = jsonu::parse(ss.str(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err << "\n" << ss.str();
+  ASSERT_NE(parsed->get("traceEvents"), nullptr);
+  ASSERT_EQ(parsed->get("traceEvents")->arr.size(), 1u);
+  EXPECT_EQ(parsed->get("traceEvents")->arr[0].get_str("name"),
+            "before-crash");
+  std::remove(path.c_str());
 }
 
 // --------------------------------------------------------- RAII guards --
@@ -147,6 +414,8 @@ TEST(Obs, HelpersAreNoOpsWithoutInstall) {
     count("noop.counter");
     gauge_set("noop.gauge", 1.0);
     observe("noop.summary", 1.0);
+    observe_hist("noop.hist", 1.0);
+    observe_hist_timing("noop.hist.timing", 1.0);
   }
   EXPECT_EQ(trace(), nullptr);
 }

@@ -1,0 +1,282 @@
+/// \file test_perfdiff.cpp
+/// \brief Tests for the perf-trajectory diff engine (obs/perfdiff): row
+/// flattening of dgr-bench-v1 reports, worse-direction inference, gating
+/// semantics (threshold strictness, base==0, missing metrics, gate regex
+/// narrowing), directory pairing, and the dgr_perfdiff CLI exit codes.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/perfdiff.hpp"
+
+using namespace dgr::obs::perfdiff;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// A minimal dgr-bench-v1 report with one of each metric kind.
+std::string report(double pair_ours, double latency_p99, double throughput,
+                   double errors, double threads) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"schema\":\"dgr-bench-v1\",\"bench\":\"t\","
+      "\"pairs\":[{\"name\":\"state_max_abs_diff\",\"paper\":0,"
+      "\"ours\":%g}],"
+      "\"metrics\":{\"counters\":{},"
+      "\"gauges\":{\"bench.throughput_rps\":%g,\"bench.errors\":%g,"
+      "\"bench.threads\":%g},"
+      "\"summaries\":{\"ensemble.queue_us\":{\"count\":4,\"mean\":12.5}},"
+      "\"histograms\":{\"serve.latency_us.mem\":{\"count\":9,\"min\":1,"
+      "\"max\":99,\"p50\":10,\"p90\":50,\"p99\":%g,\"p999\":99}}}}",
+      pair_ours, throughput, errors, threads, latency_p99);
+  return buf;
+}
+
+const Row* find_row(const Report& rep, const std::string& key) {
+  for (const Row& r : rep.rows)
+    if (r.key == key) return &r;
+  return nullptr;
+}
+
+/// Fresh temp dir under gtest's TempDir, unique per tag.
+std::string temp_dir(const char* tag) {
+  const std::string d = testing::TempDir() + "dgr_perfdiff_" + tag + "_" +
+                        std::to_string(::getpid());
+  fs::remove_all(d);
+  fs::create_directories(d);
+  return d;
+}
+
+void write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr) << path;
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+}
+
+int cli(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  std::string argv0 = "dgr_perfdiff";
+  argv.push_back(argv0.data());
+  for (std::string& a : args) argv.push_back(a.data());
+  return run_cli(static_cast<int>(argv.size()), argv.data());
+}
+
+}  // namespace
+
+// -------------------------------------------------- direction inference
+
+TEST(PerfDiff, InfersWorseDirectionFromMetricName) {
+  EXPECT_EQ(infer_direction("hist:serve.latency_us.mem.p99"),
+            Direction::kLowerBetter);
+  EXPECT_EQ(infer_direction("summary:ensemble.queue_us.mean"),
+            Direction::kLowerBetter);
+  EXPECT_EQ(infer_direction("gauge:bench.errors"), Direction::kLowerBetter);
+  EXPECT_EQ(infer_direction("pair:state_max_abs_diff"),
+            Direction::kLowerBetter);
+  EXPECT_EQ(infer_direction("gauge:bench.throughput_rps"),
+            Direction::kHigherBetter);
+  EXPECT_EQ(infer_direction("pair:gpu_eff_4"), Direction::kHigherBetter);
+  EXPECT_EQ(infer_direction("gauge:bench.answered"),
+            Direction::kHigherBetter);
+  // No direction tokens → two-sided; both directions' tokens → two-sided.
+  EXPECT_EQ(infer_direction("gauge:bench.threads"), Direction::kTwoSided);
+  EXPECT_EQ(infer_direction("gauge:bench.hit_rate_us"),
+            Direction::kTwoSided);
+}
+
+// ------------------------------------------------------- diff semantics
+
+TEST(PerfDiff, IdenticalReportsAreClean) {
+  Report rep;
+  const std::string r = report(0.0, 80, 500, 0, 4);
+  diff_reports("t", r, r, Options{}, rep);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.benches_compared, 1);
+  EXPECT_EQ(rep.regressions(), 0u);
+  // One row per flattened metric, all gated under the default ".*".
+  ASSERT_FALSE(rep.rows.empty());
+  for (const Row& row : rep.rows) {
+    EXPECT_TRUE(row.gated) << row.key;
+    EXPECT_EQ(row.delta_pct, 0.0) << row.key;
+  }
+}
+
+TEST(PerfDiff, WorsenedLatencyBeyondThresholdRegresses) {
+  Report rep;
+  diff_reports("t", report(0, 80, 500, 0, 4), report(0, 120, 500, 0, 4),
+               Options{}, rep);
+  EXPECT_FALSE(rep.ok());
+  const Row* row = find_row(rep, "hist:serve.latency_us.mem.p99");
+  ASSERT_NE(row, nullptr);
+  EXPECT_TRUE(row->regression);
+  EXPECT_NEAR(row->delta_pct, 50.0, 1e-9);
+}
+
+TEST(PerfDiff, ImprovedLatencyAndThroughputDoNotRegress) {
+  Report rep;
+  // Latency halves, throughput doubles: both large drifts, both in the
+  // better direction.
+  diff_reports("t", report(0, 80, 500, 0, 4), report(0, 40, 1000, 0, 4),
+               Options{}, rep);
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST(PerfDiff, ThroughputDropRegresses) {
+  Report rep;
+  diff_reports("t", report(0, 80, 500, 0, 4), report(0, 80, 300, 0, 4),
+               Options{}, rep);
+  const Row* row = find_row(rep, "gauge:bench.throughput_rps");
+  ASSERT_NE(row, nullptr);
+  EXPECT_TRUE(row->regression);
+  EXPECT_EQ(row->dir, Direction::kHigherBetter);
+}
+
+TEST(PerfDiff, TwoSidedMetricRegressesOnAnyDriftPastThreshold) {
+  Report rep;
+  // bench.threads has no direction tokens: 4 -> 2 is a -50% drift.
+  diff_reports("t", report(0, 80, 500, 0, 4), report(0, 80, 500, 0, 2),
+               Options{}, rep);
+  const Row* row = find_row(rep, "gauge:bench.threads");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->dir, Direction::kTwoSided);
+  EXPECT_TRUE(row->regression);
+}
+
+TEST(PerfDiff, ThresholdIsAStrictBound) {
+  Options opt;
+  opt.threshold_pct = 25.0;
+  Report at;
+  diff_reports("t", report(0, 80, 500, 0, 4), report(0, 100, 500, 0, 4),
+               opt, at);  // exactly +25%
+  const Row* row = find_row(at, "hist:serve.latency_us.mem.p99");
+  ASSERT_NE(row, nullptr);
+  EXPECT_FALSE(row->regression) << "drift == threshold must pass";
+
+  Report past;
+  diff_reports("t", report(0, 80, 500, 0, 4), report(0, 101, 500, 0, 4),
+               opt, past);
+  EXPECT_TRUE(find_row(past, "hist:serve.latency_us.mem.p99")->regression);
+}
+
+TEST(PerfDiff, ZeroBaselineRegressesOnAnyWorseNonzero) {
+  Report rep;
+  // errors 0 -> 3: no percentage can express this; it must still fail.
+  diff_reports("t", report(0, 80, 500, 0, 4), report(0, 80, 500, 3, 4),
+               Options{}, rep);
+  const Row* row = find_row(rep, "gauge:bench.errors");
+  ASSERT_NE(row, nullptr);
+  EXPECT_TRUE(row->regression);
+
+  // ...but a zero that stays zero is clean.
+  Report clean;
+  diff_reports("t", report(0, 80, 500, 0, 4), report(0, 80, 500, 0, 4),
+               Options{}, clean);
+  EXPECT_FALSE(find_row(clean, "gauge:bench.errors")->regression);
+}
+
+TEST(PerfDiff, MissingGatedMetricRegresses) {
+  Report rep;
+  // Current report lost the histogram entirely (e.g. instrumentation
+  // removed): every gated hist row goes missing -> regression.
+  std::string cur = report(0, 80, 500, 0, 4);
+  const auto pos = cur.find("\"histograms\"");
+  ASSERT_NE(pos, std::string::npos);
+  cur = cur.substr(0, pos) + "\"histograms\":{}}}";
+  diff_reports("t", report(0, 80, 500, 0, 4), cur, Options{}, rep);
+  const Row* row = find_row(rep, "hist:serve.latency_us.mem.p99");
+  ASSERT_NE(row, nullptr);
+  EXPECT_TRUE(row->missing);
+  EXPECT_TRUE(row->regression);
+}
+
+TEST(PerfDiff, GateRegexNarrowsWhatCanRegress) {
+  Options opt;
+  opt.gate = "gauge:bench\\.(errors|throughput_rps)$";
+  Report rep;
+  // Latency +50% would regress under the default gate, but only the two
+  // gauges are gated here — and they are unchanged.
+  diff_reports("t", report(0, 80, 500, 0, 4), report(0, 120, 500, 0, 4),
+               opt, rep);
+  EXPECT_TRUE(rep.ok());
+  const Row* lat = find_row(rep, "hist:serve.latency_us.mem.p99");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_FALSE(lat->gated);
+  EXPECT_FALSE(lat->regression);
+  EXPECT_TRUE(find_row(rep, "gauge:bench.errors")->gated);
+}
+
+TEST(PerfDiff, MalformedJsonIsAProblemNotACrash) {
+  Report rep;
+  diff_reports("t", "{not json", report(0, 80, 500, 0, 4), Options{}, rep);
+  EXPECT_FALSE(rep.ok());
+  ASSERT_EQ(rep.problems.size(), 1u);
+  EXPECT_NE(rep.problems[0].find("unparsable"), std::string::npos);
+}
+
+// ------------------------------------------------------ directory diffs
+
+TEST(PerfDiff, DiffDirsPairsBenchesByNameAndFlagsMissingOnes) {
+  const std::string base = temp_dir("dirs_base");
+  const std::string cur = temp_dir("dirs_cur");
+  write_file(base + "/BENCH_alpha.json", report(0, 80, 500, 0, 4));
+  write_file(base + "/BENCH_beta.json", report(0, 10, 100, 0, 4));
+  // Trace sidecars must not be mistaken for reports.
+  write_file(base + "/BENCH_alpha.trace.json", "{\"traceEvents\":[]}");
+  write_file(cur + "/BENCH_alpha.json", report(0, 80, 500, 0, 4));
+  // beta has no current report.
+
+  const Report rep = diff_dirs(base, cur, Options{});
+  EXPECT_EQ(rep.benches_compared, 1);
+  ASSERT_EQ(rep.problems.size(), 1u);
+  EXPECT_NE(rep.problems[0].find("beta"), std::string::npos);
+  EXPECT_FALSE(rep.ok());
+  fs::remove_all(base);
+  fs::remove_all(cur);
+}
+
+TEST(PerfDiff, EmptyBaselineDirectoryIsAProblem) {
+  const std::string base = temp_dir("empty_base");
+  const std::string cur = temp_dir("empty_cur");
+  const Report rep = diff_dirs(base, cur, Options{});
+  EXPECT_FALSE(rep.ok());
+  ASSERT_FALSE(rep.problems.empty());
+  EXPECT_NE(rep.problems[0].find("no BENCH_"), std::string::npos);
+  fs::remove_all(base);
+  fs::remove_all(cur);
+}
+
+// ------------------------------------------------------------------ CLI
+
+TEST(PerfDiff, CliExitCodesMatchContract) {
+  const std::string base = temp_dir("cli_base");
+  const std::string cur = temp_dir("cli_cur");
+  write_file(base + "/BENCH_t.json", report(0, 80, 500, 0, 4));
+  write_file(cur + "/BENCH_t.json", report(0, 80, 500, 0, 4));
+  EXPECT_EQ(cli({base, cur}), 0);
+
+  // Injected synthetic regression: p99 latency +50%.
+  write_file(cur + "/BENCH_t.json", report(0, 120, 500, 0, 4));
+  EXPECT_EQ(cli({base, cur}), 1);
+  // ...which a gate that excludes latency waves through.
+  EXPECT_EQ(cli({base, cur, "--gate", "gauge:bench\\.errors"}), 0);
+  // ...as does a threshold above the drift.
+  EXPECT_EQ(cli({base, cur, "--threshold", "60"}), 0);
+
+  // Usage and option errors exit 2.
+  EXPECT_EQ(cli({base}), 2);
+  EXPECT_EQ(cli({base, cur, "--threshold", "abc"}), 2);
+  EXPECT_EQ(cli({base, cur, "--threshold", "-5"}), 2);
+  EXPECT_EQ(cli({base, cur, "--gate", "(unclosed"}), 2);
+  EXPECT_EQ(cli({base, cur, "--bogus"}), 2);
+  EXPECT_EQ(cli({"--help"}), 0);
+  fs::remove_all(base);
+  fs::remove_all(cur);
+}

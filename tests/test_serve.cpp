@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/json_read.hpp"
 #include "ensemble/scenario.hpp"
+#include "obs/obs.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 
@@ -44,6 +46,18 @@ ensemble::ScenarioConfig tiny_scenario() {
 std::string test_socket(const char* tag) {
   return "/tmp/dgr_test_serve_" + std::string(tag) + "_" +
          std::to_string(::getpid()) + ".sock";
+}
+
+/// Read the whole file at `path`; empty string when unreadable.
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return "";
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
 }
 
 /// Split "OK hash=... source=... ..." into {key: value} (verb under "").
@@ -361,6 +375,20 @@ TEST(Server, LoadSheddingLosesNoResponses) {
   EXPECT_TRUE(server.stats().drained);
 }
 
+TEST(Protocol, ParseMetricsAndDumpVerbs) {
+  const ensemble::ScenarioConfig d = tiny_scenario();
+  EXPECT_EQ(parse_request("METRICS", d).kind, Request::Kind::kMetrics);
+  EXPECT_THROW(parse_request("METRICS now", d), Error);
+
+  const Request bare = parse_request("DUMP", d);
+  EXPECT_EQ(bare.kind, Request::Kind::kDump);
+  EXPECT_TRUE(bare.dump_path.empty());
+  const Request with_path = parse_request("DUMP /tmp/fr.json", d);
+  EXPECT_EQ(with_path.kind, Request::Kind::kDump);
+  EXPECT_EQ(with_path.dump_path, "/tmp/fr.json");
+  EXPECT_THROW(parse_request("DUMP a b", d), Error);
+}
+
 TEST(Server, GracefulDrainRefusesNewWork) {
   ServeConfig cfg;
   cfg.socket_path = test_socket("drain");
@@ -376,4 +404,133 @@ TEST(Server, GracefulDrainRefusesNewWork) {
   server.wait();
   EXPECT_TRUE(server.stats().drained);
   EXPECT_TRUE(server.draining());
+}
+
+// ----------------------------------------------------------- telemetry
+
+TEST(Server, StatsReportsHitRateInflightAndQueueDepth) {
+  ServeConfig cfg;
+  cfg.socket_path = test_socket("telemetry_stats");
+  cfg.defaults = tiny_scenario();
+  Server server(cfg);
+  server.start();
+
+  Client c;
+  c.connect(cfg.socket_path);
+  ASSERT_EQ(fields(c.request("EVOLVE")).at(""), "OK");  // miss
+  ASSERT_EQ(fields(c.request("EVOLVE")).at("source"), "mem");  // hit
+
+  const auto stats = fields(c.request("STATS"));
+  ASSERT_EQ(stats.at(""), "STATS");
+  // 1 hit of 2 answered requests; no work in flight once both answered.
+  EXPECT_EQ(stats.at("hit_rate"), "0.5");
+  EXPECT_EQ(stats.at("inflight"), "0");
+  EXPECT_EQ(stats.at("queue_depth"), "0");
+
+  server.request_shutdown();
+  server.wait();
+}
+
+TEST(Server, MetricsVerbServesPrometheusTextFromLiveRegistry) {
+  obs::MetricsRegistry reg;
+  reg.enable_timing(true);  // a daemon-style registry: wall-clock quantiles
+  obs::install_metrics(&reg);
+
+  ServeConfig cfg;
+  cfg.socket_path = test_socket("telemetry_prom");
+  cfg.defaults = tiny_scenario();
+  Server server(cfg);
+  server.start();
+
+  Client c;
+  c.connect(cfg.socket_path);
+  ASSERT_EQ(fields(c.request("EVOLVE")).at(""), "OK");
+  ASSERT_EQ(fields(c.request("EVOLVE")).at("source"), "mem");
+
+  c.send_line("METRICS");
+  std::string text;
+  for (std::string line = c.recv_line(); line != "END";
+       line = c.recv_line()) {
+    text += line;
+    text += "\n";
+  }
+  // Latency histograms by cache outcome, with quantile labels.
+  EXPECT_NE(text.find("# TYPE dgr_serve_latency_us_miss summary"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dgr_serve_latency_us_miss{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("dgr_serve_latency_us_mem{quantile=\"0.99\"}"),
+            std::string::npos);
+  // Live service gauges refreshed at exposition time.
+  EXPECT_NE(text.find("dgr_serve_hit_rate 0.5"), std::string::npos);
+  EXPECT_NE(text.find("dgr_serve_queue_depth 0"), std::string::npos);
+  EXPECT_NE(text.find("dgr_serve_inflight 0"), std::string::npos);
+
+  // The connection survives the multi-line response.
+  EXPECT_EQ(c.request("PING"), "PONG");
+
+  server.request_shutdown();
+  server.wait();
+  obs::install_metrics(nullptr);
+}
+
+TEST(Server, MetricsVerbWithoutRegistryIsJustEnd) {
+  ASSERT_EQ(obs::metrics(), nullptr);
+  ServeConfig cfg;
+  cfg.socket_path = test_socket("telemetry_noreg");
+  cfg.defaults = tiny_scenario();
+  Server server(cfg);
+  server.start();
+
+  Client c;
+  c.connect(cfg.socket_path);
+  EXPECT_EQ(c.request("METRICS"), "END");
+  EXPECT_EQ(c.request("PING"), "PONG");
+
+  server.request_shutdown();
+  server.wait();
+}
+
+TEST(Server, DumpWritesPerfettoLoadableFlightRecording) {
+  obs::flightrec::reset();
+  obs::flightrec::set_enabled(true);
+
+  ServeConfig cfg;
+  cfg.socket_path = test_socket("telemetry_dump");
+  cfg.defaults = tiny_scenario();
+  Server server(cfg);
+  server.start();
+
+  Client c;
+  c.connect(cfg.socket_path);
+  ASSERT_EQ(fields(c.request("EVOLVE")).at(""), "OK");
+  obs::flightrec::record_instant("test.marker", "test", 1.0);
+
+  const std::string path = testing::TempDir() + "dgr_serve_flightrec_" +
+                           std::to_string(::getpid()) + ".json";
+  const auto resp = fields(c.request("DUMP " + path));
+  ASSERT_EQ(resp.at(""), "OK") << "DUMP response";
+  EXPECT_EQ(resp.at("flightrec"), path);
+
+  std::string err;
+  const auto doc = jsonu::parse(slurp(path), &err);
+  ASSERT_TRUE(doc.has_value()) << "flightrec dump must parse: " << err;
+  const jsonu::JValue* events = doc->get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_arr());
+  EXPECT_FALSE(events->arr.empty());
+  EXPECT_EQ(doc->get_str("displayTimeUnit"), "ms");
+  bool saw_marker = false;
+  for (const jsonu::JValue& e : events->arr)
+    if (e.get_str("name") == "test.marker") saw_marker = true;
+  EXPECT_TRUE(saw_marker) << "instant recorded before DUMP must appear";
+  std::remove(path.c_str());
+
+  // An unwritable destination is an explicit ERR, not a broken connection.
+  EXPECT_EQ(c.request("DUMP /nonexistent-dir/fr.json").substr(0, 3), "ERR");
+  EXPECT_EQ(c.request("PING"), "PONG");
+
+  server.request_shutdown();
+  server.wait();
 }

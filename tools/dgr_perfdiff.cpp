@@ -1,0 +1,18 @@
+/// \file dgr_perfdiff.cpp
+/// \brief Perf-trajectory regression gate: diff two directories of
+/// BENCH_*.json reports (the bench_common::Reporter output) and fail on
+/// gated metrics that drifted past the threshold. All of the logic lives
+/// in obs/perfdiff.{hpp,cpp} so tests can drive it in-process; this
+/// binary is the thin CLI the CI perf-trajectory job invokes:
+///
+///   dgr_perfdiff bench/baselines telemetry/current \
+///       --threshold 0.1 --gate '(pair:|gauge:bench\.hit_rate)'
+///
+/// Exit 0 clean, 1 regressions or structural problems (missing bench,
+/// unparsable report), 2 usage/IO errors.
+
+#include "obs/perfdiff.hpp"
+
+int main(int argc, char** argv) {
+  return dgr::obs::perfdiff::run_cli(argc, argv);
+}

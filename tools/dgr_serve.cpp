@@ -15,10 +15,17 @@
 ///   --spill-dir PATH / DGR_SERVE_SPILL_DIR  on-disk spill directory
 ///   --threads N                             host pool lanes (else DGR_THREADS)
 ///   --json PATH                             metrics snapshot on exit
+///   --flightrec PATH / DGR_FLIGHTREC_PATH   flight-recorder dump path
 ///
 /// SIGINT/SIGTERM (or a client SHUTDOWN) begin a graceful drain: admitted
 /// requests finish, new ones get DRAINING, then the process exits 0 after
 /// writing the metrics snapshot.
+///
+/// Telemetry. The daemon's registry opts into wall-clock timing, so the
+/// METRICS verb exposes live latency quantiles by cache outcome. The
+/// flight recorder runs always-on (DGR_FLIGHTREC=off disables): a crash
+/// (SIGSEGV/SIGABRT), a completed drain, or a client DUMP leaves a
+/// Perfetto-loadable flightrec.json of the last moments per thread.
 
 #include <csignal>
 #include <cstdio>
@@ -90,6 +97,8 @@ int main(int argc, char** argv) {
             arg_value(argc, argv, i, "--threads"), "--threads"));
       } else if (a == "--json") {
         json_path = arg_value(argc, argv, i, "--json");
+      } else if (a == "--flightrec") {
+        cfg.flightrec_path = arg_value(argc, argv, i, "--flightrec");
       } else {
         std::fprintf(stderr, "error: unknown flag %s\n", a.c_str());
         return 2;
@@ -101,7 +110,15 @@ int main(int argc, char** argv) {
   }
 
   obs::MetricsRegistry metrics;
+  // A daemon is a single long-lived run, not a determinism comparison:
+  // opt into wall-clock latency histograms for the METRICS exposition.
+  metrics.enable_timing(true);
   obs::install_metrics(&metrics);
+
+  // Crash dumps and the post-drain dump share the configured destination.
+  cfg.flightrec_on_drain = true;
+  obs::flightrec::install_crash_handler(
+      cfg.flightrec_path.empty() ? nullptr : cfg.flightrec_path.c_str());
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
