@@ -94,6 +94,23 @@ void rhs_eval(SimComm& comm, Cohort& c, const DistConfig& cfg, int tag,
                  cfg.sec_per_octant * double(rc->boundary_octants()));
 }
 
+/// One sub-cycled per-depth exchange (schedule-only): same overlapped
+/// shape as rhs_eval, but payloads and compute advances are restricted to
+/// one refinement depth's DOFs/octants (RankCtx::build_depth_maps).
+void rhs_eval_depth(SimComm& comm, Cohort& c, const DistConfig& cfg, int tag,
+                    int slot) {
+  for (auto& rc : c.ranks)
+    rc->post_exchange_depth(comm, rc->state(), tag, slot);
+  for (auto& rc : c.ranks)
+    comm.advance(rc->rank(), cfg.sec_per_octant *
+                                 double(rc->interior_octants_depth(slot)));
+  for (auto& rc : c.ranks)
+    rc->finish_exchange_depth(comm, rc->state(), slot);
+  for (auto& rc : c.ranks)
+    comm.advance(rc->rank(), cfg.sec_per_octant *
+                                 double(rc->boundary_octants_depth(slot)));
+}
+
 /// One distributed RK4 step — the exact arithmetic of BssnCtx::rk4_step,
 /// with a ghost exchange ahead of each of the four evaluations.
 void rk4_step(SimComm& comm, Cohort& c, const DistConfig& cfg, Real dt,
@@ -136,6 +153,10 @@ DistResult evolve_distributed(std::shared_ptr<const mesh::Mesh> mesh,
                               const DistConfig& cfg) {
   DGR_CHECK(mesh != nullptr && cfg.ranks >= 1);
   DGR_CHECK(initial.num_dofs() == mesh->num_dofs());
+  DGR_CHECK_MSG(!(cfg.subcycle && cfg.execute),
+                "subcycle is schedule-only in the distributed engine "
+                "(execute-mode local timestepping runs through "
+                "solver::evolve)");
   obs::ScopedSpan top("dist::evolve_distributed", "dist");
 
   FaultPlan plan(cfg.faults);
@@ -195,10 +216,31 @@ DistResult evolve_distributed(std::shared_ptr<const mesh::Mesh> mesh,
   };
 
   if (!cfg.execute) {
-    for (int ev = 0; ev < cfg.schedule_evals; ++ev) {
-      rhs_eval(*comm, c, cfg, tag++, /*use_stage=*/false, 0);
-      ++res.rhs_evals;
-      mark("rhs-eval");
+    if (cfg.subcycle) {
+      // Sub-cycled schedule: walk the cycle's substeps, firing one
+      // filtered exchange per (substep, active depth) coarsest-first,
+      // until schedule_evals evaluations have run. Coarse depths exchange
+      // exponentially less often, and each exchange carries only the DOFs
+      // on that depth's cadence.
+      const mesh::SubcycleIndex idx = mesh::SubcycleIndex::build(*c.mesh);
+      for (auto& rc : c.ranks) rc->build_depth_maps(idx);
+      int ev = 0;
+      while (ev < cfg.schedule_evals) {
+        for (int s = 0; s < idx.cycle() && ev < cfg.schedule_evals; ++s)
+          for (int d = idx.active_cutoff(s);
+               d <= idx.dmax && ev < cfg.schedule_evals; ++d) {
+            rhs_eval_depth(*comm, c, cfg, tag++, d - idx.dmin);
+            ++res.rhs_evals;
+            ++ev;
+            mark("rhs-eval");
+          }
+      }
+    } else {
+      for (int ev = 0; ev < cfg.schedule_evals; ++ev) {
+        rhs_eval(*comm, c, cfg, tag++, /*use_stage=*/false, 0);
+        ++res.rhs_evals;
+        mark("rhs-eval");
+      }
     }
   } else {
     // Mirror solver::evolve (Algorithm 1) exactly, with a global step

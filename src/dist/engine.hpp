@@ -58,6 +58,14 @@ struct DistConfig {
   /// schedules with real payloads but no numerics (benches).
   bool execute = true;
   int schedule_evals = 0;
+  /// Depth-local sub-cycled message schedule (schedule-only mode; execute
+  /// mode rejects it). Each scheduled evaluation becomes one per-depth
+  /// exchange of the sub-cycle walk — substeps in order, active depths
+  /// coarsest-first — with send/recv payloads filtered to the DOFs on that
+  /// depth's cadence and the compute advance scaled to that depth's
+  /// interior/boundary octants. Models the halo-cadence change local
+  /// timestepping induces (fewer, smaller exchanges for coarse depths).
+  bool subcycle = false;
 
   /// Coordinated checkpoint every K steps (0 disables). Required (> 0)
   /// when fault injection is enabled: the step-0 state always counts as

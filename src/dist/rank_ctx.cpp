@@ -68,15 +68,17 @@ SimComm::Payload RankCtx::pack_owned() const {
   return out;
 }
 
-void RankCtx::post_exchange(SimComm& comm, const bssn::BssnState& u,
-                            int tag) {
+void RankCtx::post_exchange_lists(
+    SimComm& comm, const bssn::BssnState& u, int tag,
+    const std::vector<std::vector<DofIndex>>& send_to,
+    const std::vector<std::vector<DofIndex>>& recv_from) {
   DGR_CHECK_MSG(pending_.empty(), "exchange already in flight");
   // Post receives first (as a real code would), then pack and send.
   for (int p : maps_.peers)
-    if (!maps_.recv_from[p].empty())
+    if (!recv_from[p].empty())
       pending_.push_back(comm.irecv(rank_, p, tag, &recv_buf_[p]));
   for (int p : maps_.peers) {
-    const auto& dofs = maps_.send_to[p];
+    const auto& dofs = send_to[p];
     if (dofs.empty()) continue;
     SimComm::Payload payload;
     payload.reserve(dofs.size() * kNumVars);
@@ -88,11 +90,13 @@ void RankCtx::post_exchange(SimComm& comm, const bssn::BssnState& u,
   }
 }
 
-void RankCtx::finish_exchange(SimComm& comm, bssn::BssnState& u) {
+void RankCtx::finish_exchange_lists(
+    SimComm& comm, bssn::BssnState& u,
+    const std::vector<std::vector<DofIndex>>& recv_from) {
   comm.wait_all(rank_, pending_);
   pending_.clear();
   for (int p : maps_.peers) {
-    const auto& dofs = maps_.recv_from[p];
+    const auto& dofs = recv_from[p];
     if (dofs.empty()) continue;
     SimComm::Payload& buf = recv_buf_[p];
     DGR_CHECK(buf.size() == dofs.size() * kNumVars);
@@ -103,6 +107,62 @@ void RankCtx::finish_exchange(SimComm& comm, bssn::BssnState& u) {
     }
     buf.clear();
   }
+}
+
+void RankCtx::post_exchange(SimComm& comm, const bssn::BssnState& u,
+                            int tag) {
+  post_exchange_lists(comm, u, tag, maps_.send_to, maps_.recv_from);
+}
+
+void RankCtx::finish_exchange(SimComm& comm, bssn::BssnState& u) {
+  finish_exchange_lists(comm, u, maps_.recv_from);
+}
+
+void RankCtx::build_depth_maps(const mesh::SubcycleIndex& idx) {
+  const int nslots = idx.depths();
+  const int nranks = static_cast<int>(recv_buf_.size());
+  depth_send_.assign(
+      static_cast<std::size_t>(nslots),
+      std::vector<std::vector<DofIndex>>(static_cast<std::size_t>(nranks)));
+  depth_recv_.assign(
+      static_cast<std::size_t>(nslots),
+      std::vector<std::vector<DofIndex>>(static_cast<std::size_t>(nranks)));
+  // A DOF's cadence is its owner-octant depth on BOTH sides of an
+  // exchange (sender and receiver agree on dof_depth — it is mesh
+  // geometry), so the filtered lists stay pairwise consistent: a peer's
+  // depth-d send list is exactly this rank's depth-d recv list.
+  for (int p : maps_.peers) {
+    for (DofIndex d : maps_.send_to[p])
+      depth_send_[static_cast<std::size_t>(
+                      static_cast<int>(idx.dof_depth[d]) - idx.dmin)][p]
+          .push_back(d);
+    for (DofIndex d : maps_.recv_from[p])
+      depth_recv_[static_cast<std::size_t>(
+                      static_cast<int>(idx.dof_depth[d]) - idx.dmin)][p]
+          .push_back(d);
+  }
+  depth_interior_.assign(static_cast<std::size_t>(nslots), 0);
+  depth_boundary_.assign(static_cast<std::size_t>(nslots), 0);
+  const auto& leaves = mesh_->tree().leaves();
+  for (OctIndex e : maps_.interior)
+    ++depth_interior_[static_cast<std::size_t>(
+        leaves[static_cast<std::size_t>(e)].level - idx.dmin)];
+  for (OctIndex e : maps_.boundary)
+    ++depth_boundary_[static_cast<std::size_t>(
+        leaves[static_cast<std::size_t>(e)].level - idx.dmin)];
+}
+
+void RankCtx::post_exchange_depth(SimComm& comm, const bssn::BssnState& u,
+                                  int tag, int slot) {
+  DGR_CHECK(slot >= 0 && slot < static_cast<int>(depth_send_.size()));
+  post_exchange_lists(comm, u, tag, depth_send_[static_cast<std::size_t>(slot)],
+                      depth_recv_[static_cast<std::size_t>(slot)]);
+}
+
+void RankCtx::finish_exchange_depth(SimComm& comm, bssn::BssnState& u,
+                                    int slot) {
+  finish_exchange_lists(comm, u,
+                        depth_recv_[static_cast<std::size_t>(slot)]);
 }
 
 void RankCtx::compute_rhs_interior(const bssn::BssnState& u,

@@ -15,6 +15,7 @@
 #include "bssn/state.hpp"
 #include "comm/partition.hpp"
 #include "dist/sim_comm.hpp"
+#include "mesh/subcycle_index.hpp"
 #include "solver/bssn_ctx.hpp"
 
 namespace dgr::dist {
@@ -63,7 +64,30 @@ class RankCtx {
   void compute_rhs_interior(const bssn::BssnState& u, bssn::BssnState& rhs);
   void compute_rhs_boundary(const bssn::BssnState& u, bssn::BssnState& rhs);
 
+  /// Depth-local sub-cycling support (schedule-only engine mode): split
+  /// the send/recv DOF lists and interior/boundary octant counts by
+  /// refinement depth, so each depth's halo exchange carries only the DOFs
+  /// advancing on its cadence and each depth's compute advance reflects
+  /// only its own octants. Depth slots index as depth - idx.dmin.
+  void build_depth_maps(const mesh::SubcycleIndex& idx);
+  std::size_t interior_octants_depth(int slot) const {
+    return depth_interior_[static_cast<std::size_t>(slot)];
+  }
+  std::size_t boundary_octants_depth(int slot) const {
+    return depth_boundary_[static_cast<std::size_t>(slot)];
+  }
+  void post_exchange_depth(SimComm& comm, const bssn::BssnState& u, int tag,
+                           int slot);
+  void finish_exchange_depth(SimComm& comm, bssn::BssnState& u, int slot);
+
  private:
+  void post_exchange_lists(SimComm& comm, const bssn::BssnState& u, int tag,
+                           const std::vector<std::vector<DofIndex>>& send_to,
+                           const std::vector<std::vector<DofIndex>>& recv_from);
+  void finish_exchange_lists(
+      SimComm& comm, bssn::BssnState& u,
+      const std::vector<std::vector<DofIndex>>& recv_from);
+
   int rank_;
   std::shared_ptr<const mesh::Mesh> mesh_;
   comm::ExchangeMaps maps_;
@@ -75,6 +99,10 @@ class RankCtx {
   // In-flight exchange bookkeeping.
   std::vector<SimComm::Request> pending_;
   std::vector<SimComm::Payload> recv_buf_;  // per peer rank
+  // Per-depth filtered exchange lists [slot][peer] and octant counts
+  // [slot] (populated by build_depth_maps).
+  std::vector<std::vector<std::vector<DofIndex>>> depth_send_, depth_recv_;
+  std::vector<std::size_t> depth_interior_, depth_boundary_;
 };
 
 /// Collapse a sorted octant list into maximal contiguous [begin, end) runs.

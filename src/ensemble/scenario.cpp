@@ -14,7 +14,7 @@ namespace dgr::ensemble {
 
 namespace {
 
-constexpr char kMagic[4] = {'D', 'S', 'C', '1'};  // scenario encoding v1
+constexpr char kMagic[4] = {'D', 'S', 'C', '2'};  // scenario encoding v2
 constexpr char kWaveMagic[4] = {'D', 'W', 'F', '1'};
 
 void put_u32(std::string& out, std::uint32_t v) {
@@ -82,6 +82,7 @@ std::string encode(const ScenarioConfig& cfg) {
   put_real(out, cfg.extraction_radius);
   put_real(out, cfg.cfl);
   put_real(out, cfg.ko_sigma);
+  put_u32(out, cfg.subcycle ? 1u : 0u);
   return out;
 }
 
@@ -104,6 +105,9 @@ ScenarioConfig decode(const std::string& bytes) {
   cfg.extraction_radius = r.real();
   cfg.cfl = r.real();
   cfg.ko_sigma = r.real();
+  const std::uint32_t sub = r.u32();
+  DGR_CHECK_MSG(sub <= 1, "subcycle flag must be 0 or 1, got " << sub);
+  cfg.subcycle = sub != 0;
   DGR_CHECK_MSG(r.pos == bytes.size(),
                 "trailing bytes after canonical scenario encoding");
   return cfg;
@@ -258,6 +262,7 @@ Waveform run_scenario(const ScenarioConfig& cfg) {
   ecfg.regrid.min_level = cfg.base_level;
   ecfg.regrid.max_level = cfg.finest_level;
   ecfg.extraction_radii = {cfg.extraction_radius};
+  ecfg.subcycle = cfg.subcycle;
   const auto res = solver::evolve(ctx, ecfg, nullptr);
 
   Waveform wf;

@@ -46,6 +46,10 @@ struct ScenarioConfig {
   Real extraction_radius = 5.0;        ///< Psi4 extraction sphere radius
   Real cfl = 0.25;                     ///< Courant factor
   Real ko_sigma = 0.3;                 ///< Kreiss-Oliger dissipation
+  /// Depth-local sub-cycled timestepping (EvolutionConfig::subcycle). Off
+  /// by default: existing encodings evolve bitwise-identically. Cadences
+  /// must align to the cycle length (solver::evolve validates).
+  bool subcycle = false;
 
   bool operator==(const ScenarioConfig&) const = default;
 };

@@ -1,0 +1,64 @@
+#pragma once
+/// \file dense_output.hpp
+/// \brief Dense-output time interpolation for depth-local sub-cycling: the
+/// ghost-fill stencil that lets an active fine octant read a coarser
+/// neighbor's state at an intermediate stage time.
+///
+/// A depth that completed a step over [t0, t0 + dt] retains three arrays
+/// per DOF — u0 (state at t0), k1 (the step's first RHS evaluation, i.e.
+/// u'(t0)) and u1 (state at t0 + dt). The unique quadratic matching u(t0),
+/// u'(t0) and u(t0 + dt) is, with theta = (t - t0) / dt,
+///
+///   u(t) ~= (1 - theta^2) u0 + theta^2 u1 + dt theta (1 - theta) k1,
+///
+/// a second-order (local error O(dt^3)) continuous extension of the RK
+/// step. Inside [t0, t0 + dt] this is pure interpolation; the sub-cycle
+/// schedule guarantees a coarser depth's interval always covers every stage
+/// time of a finer active depth. A coarse octant reading a *finer*
+/// neighbor extrapolates the finer depth's most recent quadratic by at most
+/// two of its intervals (the 2:1 balance bound) — still O(dt^3) locally,
+/// with a bounded constant.
+///
+/// Before a depth has taken its first step (evolution start, or right
+/// after a remesh invalidated the retained stages), only u0 and one fresh
+/// full-mesh RHS are available; the linear u(t) ~= u0 + (t - t0) k1 covers
+/// at most the first cycle and keeps the global scheme second order.
+
+#include "common/types.hpp"
+
+namespace dgr::fd {
+
+/// Weights of the quadratic dense output: value = c_u0 * u0 + c_u1 * u1 +
+/// c_k1 * k1. Exact for any quadratic-in-time trajectory (tested in
+/// test_subcycle); theta may lie outside [0, 1] (bounded extrapolation).
+struct DenseCoeffs {
+  Real c_u0 = 0;
+  Real c_u1 = 0;
+  Real c_k1 = 0;
+};
+
+inline DenseCoeffs dense_output_quadratic(Real theta, Real dt) {
+  DenseCoeffs c;
+  const Real t2 = theta * theta;
+  c.c_u0 = 1.0 - t2;
+  c.c_u1 = t2;
+  c.c_k1 = dt * theta * (1.0 - theta);
+  return c;
+}
+
+/// First-order bootstrap variant (no u1 yet): value = u0 + (t - t0) * k1.
+inline DenseCoeffs dense_output_linear(Real t_minus_t0) {
+  DenseCoeffs c;
+  c.c_u0 = 1.0;
+  c.c_u1 = 0.0;
+  c.c_k1 = t_minus_t0;
+  return c;
+}
+
+/// Evaluate the dense output for one value triple.
+inline Real dense_output_eval(const DenseCoeffs& c, Real u0, Real u1,
+                              Real k1) {
+  return c.c_u0 * u0 + c.c_u1 * u1 + c.c_k1 * k1;
+}
+
+}  // namespace dgr::fd

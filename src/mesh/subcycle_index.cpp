@@ -1,0 +1,73 @@
+#include "mesh/subcycle_index.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace dgr::mesh {
+
+int SubcycleIndex::active_cutoff(int substep) const {
+  DGR_CHECK(substep >= 0 && substep < cycle());
+  if (substep == 0) return dmin;
+  // Depth d is active iff 2^(dmax - d) divides the substep, so the coarsest
+  // active depth is set by the number of trailing zero bits.
+  const int z = std::countr_zero(static_cast<unsigned>(substep));
+  return dmax - z;
+}
+
+std::size_t SubcycleIndex::active_octants(int substep) const {
+  std::size_t n = 0;
+  for (int d = active_cutoff(substep); d <= dmax; ++d)
+    n += octants[static_cast<std::size_t>(d - dmin)];
+  return n;
+}
+
+std::uint64_t SubcycleIndex::cycle_octant_evals() const {
+  std::uint64_t n = 0;
+  for (int d = dmin; d <= dmax; ++d)
+    n += std::uint64_t(octants[static_cast<std::size_t>(d - dmin)]) * 4u *
+         (std::uint64_t{1} << (d - dmin));
+  return n;
+}
+
+std::uint64_t SubcycleIndex::global_octant_evals() const {
+  std::uint64_t total = 0;
+  for (std::size_t c : octants) total += c;
+  return total * 4u * std::uint64_t(cycle());
+}
+
+SubcycleIndex SubcycleIndex::build(const Mesh& m) {
+  SubcycleIndex idx;
+  const oct::Octree& tree = m.tree();
+  idx.dmin = tree.min_level();
+  idx.dmax = tree.max_level();
+  const int nd = idx.depths();
+  idx.runs.assign(static_cast<std::size_t>(nd), {});
+  idx.octants.assign(static_cast<std::size_t>(nd), 0);
+  idx.dofs.assign(static_cast<std::size_t>(nd), 0);
+
+  // Depth runs: leaves are SFC-sorted, so equal-level stretches are
+  // contiguous; collapse them into maximal [begin, end) runs per depth.
+  const auto& leaves = tree.leaves();
+  for (OctIndex e = 0; e < static_cast<OctIndex>(leaves.size()); ++e) {
+    const int lvl = leaves[static_cast<std::size_t>(e)].level;
+    auto& rs = idx.runs[static_cast<std::size_t>(lvl - idx.dmin)];
+    if (!rs.empty() && rs.back().second == e)
+      rs.back().second = e + 1;
+    else
+      rs.push_back({e, e + 1});
+    ++idx.octants[static_cast<std::size_t>(lvl - idx.dmin)];
+  }
+
+  idx.dof_depth.resize(m.num_dofs());
+  for (DofIndex d = 0; d < static_cast<DofIndex>(m.num_dofs()); ++d) {
+    const int lvl =
+        leaves[static_cast<std::size_t>(m.dof_owner(d))].level;
+    idx.dof_depth[static_cast<std::size_t>(d)] =
+        static_cast<std::uint8_t>(lvl);
+    ++idx.dofs[static_cast<std::size_t>(lvl - idx.dmin)];
+  }
+  return idx;
+}
+
+}  // namespace dgr::mesh

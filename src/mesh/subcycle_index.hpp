@@ -1,0 +1,79 @@
+#pragma once
+/// \file subcycle_index.hpp
+/// \brief Depth-local sub-cycling geometry (Berger–Oliger power-of-two
+/// cadence, roadmap item 2): which octants and DOFs belong to each
+/// refinement depth, and which depths are due at each fine substep.
+///
+/// The time hierarchy mirrors the space hierarchy: octants at depth d take
+/// steps of dt_d = dt_fine * 2^(d_max - d), so one coarse step spans a
+/// "cycle" of 2^(d_max - d_min) fine substeps. Depth d is active at substep
+/// s iff s is a multiple of 2^(d_max - d); because those strides nest, the
+/// active set at any substep is always a depth suffix [cutoff, d_max] —
+/// fine octants step at least as often as every neighbor, and all depths
+/// are time-aligned exactly at cycle boundaries (where regrid, puncture
+/// tracking and wave extraction are allowed to fire).
+///
+/// The index is pure geometry over a built Mesh: per-depth contiguous SFC
+/// octant runs (the unzip/RHS/zip sweeps of solver::RhsPipeline and the
+/// simgpu mirror are restricted to exactly these runs), the owner-octant
+/// depth of every DOF (which cadence each DOF advances on), and the
+/// deterministic per-cycle work counts the perf gate regresses on.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mesh/mesh.hpp"
+
+namespace dgr::mesh {
+
+/// Fine substeps per full cycle for a depth band [dmin, dmax].
+inline int subcycle_length(int dmin, int dmax) {
+  return 1 << (dmax - dmin);
+}
+
+/// True when depth `depth` is due to step at fine substep `substep` (the
+/// active_depth predicate of the reference local-timestepping scheme):
+/// depth d advances once every 2^(max_depth - d) substeps.
+inline bool active_depth(int substep, int depth, int max_depth) {
+  return (substep & ((1 << (max_depth - depth)) - 1)) == 0;
+}
+
+struct SubcycleIndex {
+  int dmin = 0;  ///< coarsest leaf level on the mesh
+  int dmax = 0;  ///< finest leaf level on the mesh
+
+  /// Maximal contiguous SFC runs of depth-d octants, indexed [d - dmin].
+  /// Identical element type to solver::OctRange, so the runs feed
+  /// RhsPipeline::compute directly.
+  std::vector<std::vector<std::pair<OctIndex, OctIndex>>> runs;
+  std::vector<std::size_t> octants;  ///< octant count per depth
+  std::vector<std::size_t> dofs;     ///< owned-DOF count per depth
+  /// Owner-octant level of every DOF — dof_owner is the finest octant
+  /// touching the point, so shared interface DOFs follow the finer cadence.
+  std::vector<std::uint8_t> dof_depth;
+
+  int depths() const { return dmax - dmin + 1; }
+  int cycle() const { return subcycle_length(dmin, dmax); }
+  bool uniform() const { return dmin == dmax; }
+
+  /// Coarsest depth active at `substep` (in [0, cycle())); the active set
+  /// is the suffix [active_cutoff(s), dmax].
+  int active_cutoff(int substep) const;
+
+  /// Octants stepped at `substep` (sum over the active depths).
+  std::size_t active_octants(int substep) const;
+
+  /// Octant RK-stage evaluations over one full cycle: sub-cycled (each
+  /// depth steps 2^(d - dmin) times, 4 RHS evaluations each) vs global-dt
+  /// (every octant at every substep). Their ratio is the asymptotic work
+  /// saving — a deterministic count, independent of threads and SIMD
+  /// width, which the fig12 perf baseline gates on.
+  std::uint64_t cycle_octant_evals() const;
+  std::uint64_t global_octant_evals() const;
+
+  static SubcycleIndex build(const Mesh& m);
+};
+
+}  // namespace dgr::mesh

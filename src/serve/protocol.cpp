@@ -111,6 +111,7 @@ void apply_field(ensemble::ScenarioConfig& cfg, bool& full,
   else if (key == "radius") cfg.extraction_radius = parse_real(v, w);
   else if (key == "cfl") cfg.cfl = parse_real(v, w);
   else if (key == "ko") cfg.ko_sigma = parse_real(v, w);
+  else if (key == "subcycle") cfg.subcycle = parse_count(v, w, 0, 1) != 0;
   else if (key == "full") full = parse_count(v, w, 0, 1) != 0;
   else DGR_CHECK_MSG(false, "unknown EVOLVE field '" << key << "'");
 }
@@ -201,6 +202,7 @@ std::string format_evolve(const ensemble::ScenarioConfig& cfg, bool full) {
   s += " radius=" + num(cfg.extraction_radius);
   s += " cfl=" + num(cfg.cfl);
   s += " ko=" + num(cfg.ko_sigma);
+  s += " subcycle=" + num(cfg.subcycle ? 1 : 0);
   if (full) s += " full=1";
   return s;
 }

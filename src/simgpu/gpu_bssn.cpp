@@ -5,6 +5,7 @@
 #include "codegen/bssn_graph.hpp"
 #include "common/error.hpp"
 #include "exec/parallel.hpp"
+#include "fd/dense_output.hpp"
 #include "gw/psi4.hpp"
 
 namespace dgr::simgpu {
@@ -17,6 +18,21 @@ namespace {
 std::uint64_t state_bytes(const mesh::Mesh& m) {
   return std::uint64_t(m.num_dofs()) * kNumVars * sizeof(Real);
 }
+
+constexpr std::uint8_t kModeLinear = 0;
+constexpr std::uint8_t kModeQuad = 1;
+
+/// RK4 stage-time fractions (stage j evaluates at t0 + c_j dt).
+constexpr Real kStageC[4] = {0.0, 0.5, 0.5, 1.0};
+
+/// Per-depth stage-fill recipe, identical to the solver-side subcycle.cpp
+/// so the device mirror reproduces the CPU arithmetic bitwise.
+struct FillCoef {
+  enum Mode : int { kCopy, kRkAxpy, kDense };
+  Mode mode = kCopy;
+  Real a = 0;
+  fd::DenseCoeffs dc;
+};
 }  // namespace
 
 GpuBssnSolver::GpuBssnSolver(std::shared_ptr<mesh::Mesh> mesh,
@@ -46,6 +62,9 @@ void GpuBssnSolver::upload(const bssn::BssnState& state) {
   DGR_CHECK(state.num_dofs() == mesh_->num_dofs());
   state_ = state;
   runtime_.h2d(state_bytes(*mesh_));
+  // The uploaded state replaces the evolution history; retained dense
+  // stages no longer bracket it.
+  dense_ready_ = false;
 }
 
 BssnState GpuBssnSolver::download() {
@@ -54,9 +73,15 @@ BssnState GpuBssnSolver::download() {
 }
 
 void GpuBssnSolver::compute_rhs(const BssnState& u, BssnState& rhs) {
+  compute_rhs(u, rhs,
+              {{0, static_cast<OctIndex>(mesh_->num_octants())}});
+}
+
+void GpuBssnSolver::compute_rhs(
+    const BssnState& u, BssnState& rhs,
+    const std::vector<std::pair<OctIndex, OctIndex>>& runs) {
   const auto in = u.cptrs();
   const auto out = rhs.ptrs();
-  const OctIndex n = static_cast<OctIndex>(mesh_->num_octants());
   const Real half = mesh_->domain().half_extent;
   if (static_cast<int>(ws_.size()) < exec::lanes())
     ws_.resize(exec::lanes());
@@ -72,9 +97,15 @@ void GpuBssnSolver::compute_rhs(const BssnState& u, BssnState& rhs) {
   // counts: octant-to-patch splits by VARIABLE (unzip_slice — per-var work
   // is independent; an octant-range split would re-count shared prolonged
   // sources), RHS and patch-to-octant split by octant (per-octant work and
-  // per-owner-DOF writes are disjoint).
-  for (OctIndex begin = 0; begin < n; begin += config_.chunk_octants) {
-    const OctIndex end = std::min<OctIndex>(begin + config_.chunk_octants, n);
+  // per-owner-DOF writes are disjoint). Restricting the runs (sub-cycling)
+  // keeps launches, op counts and modeled time proportional to live work.
+  for (const auto& run : runs) {
+  DGR_CHECK(run.first >= 0 &&
+            run.second <= static_cast<OctIndex>(mesh_->num_octants()));
+  for (OctIndex begin = run.first; begin < run.second;
+       begin += config_.chunk_octants) {
+    const OctIndex end =
+        std::min<OctIndex>(begin + config_.chunk_octants, run.second);
 
     runtime_.launch_range(
         "octant-to-patch", std::uint64_t(end - begin) * kNumVars, 0, kNumVars,
@@ -122,6 +153,7 @@ void GpuBssnSolver::compute_rhs(const BssnState& u, BssnState& rhs) {
                      kNumVars, b, e, out.data(), &c);
         });
   }
+  }
 }
 
 void GpuBssnSolver::launch_axpy(const char* name, BssnState& y, Real s,
@@ -164,6 +196,181 @@ void GpuBssnSolver::rk4_step(Real dt) {
   launch_axpy("axpy", state_, dt / 3.0, k_[2], false, nullptr);
   launch_axpy("axpy", state_, dt / 6.0, k_[3], false, nullptr);
   time_ += dt;
+  dense_ready_ = false;
+}
+
+const mesh::SubcycleIndex& GpuBssnSolver::subcycle_index() {
+  if (!subidx_)
+    subidx_ = std::make_unique<mesh::SubcycleIndex>(
+        mesh::SubcycleIndex::build(*mesh_));
+  return *subidx_;
+}
+
+void GpuBssnSolver::subcycle_bootstrap() {
+  const mesh::SubcycleIndex& idx = *subidx_;
+  const std::size_t nd = mesh_->num_dofs();
+  if (!dense_alloc_) {
+    // Two more device-resident state-sized arrays for the retained dense
+    // stages (u0, k1), priced into the memory model.
+    runtime_.device_alloc(2 * state_bytes(*mesh_));
+    dense_alloc_ = true;
+  }
+  dense_u0_.resize(nd);
+  dense_k1_.resize(nd);
+  dense_t0_.assign(static_cast<std::size_t>(idx.depths()), time_);
+  dense_mode_.assign(static_cast<std::size_t>(idx.depths()), kModeLinear);
+  compute_rhs(state_, dense_k1_);
+  runtime_.launch_range(
+      "subcycle-save", nd, 0, kNumVars, /*grain=*/1,
+      [&](std::int64_t vb, std::int64_t ve, OpCounts& c) {
+        for (int v = static_cast<int>(vb); v < static_cast<int>(ve); ++v) {
+          const Real* uv = state_.field(v);
+          std::copy(uv, uv + nd, dense_u0_.field(v));
+        }
+        const std::uint64_t n = std::uint64_t(ve - vb) * nd;
+        c.bytes_read += n * sizeof(Real);
+        c.bytes_written += n * sizeof(Real);
+      });
+  dense_ready_ = true;
+}
+
+void GpuBssnSolver::subcycle_step_depth(int depth, Real fine_dt) {
+  const mesh::SubcycleIndex& idx = *subidx_;
+  const int slot = depth - idx.dmin;
+  const Real dt = fine_dt * static_cast<Real>(1 << (idx.dmax - depth));
+  const auto& runs = idx.runs[static_cast<std::size_t>(slot)];
+  const std::size_t nd = mesh_->num_dofs();
+  const std::uint8_t* dd = idx.dof_depth.data();
+  const int nslots = idx.depths();
+
+  for (int j = 0; j < 4; ++j) {
+    // Stage fill, identical arithmetic to solver/subcycle.cpp (see the
+    // rationale there): stepping depth takes the exact RK stage AXPY,
+    // every other depth a dense-output evaluation at the stage time.
+    const Real ts = time_ + kStageC[j] * dt;
+    std::vector<FillCoef> tab(static_cast<std::size_t>(nslots));
+    for (int s = 0; s < nslots; ++s) {
+      FillCoef& f = tab[static_cast<std::size_t>(s)];
+      if (s == slot) {
+        if (j == 0) {
+          f.mode = FillCoef::kCopy;
+        } else {
+          f.mode = FillCoef::kRkAxpy;
+          f.a = kStageC[j] * dt;
+        }
+      } else {
+        f.mode = FillCoef::kDense;
+        const Real dtp =
+            fine_dt * static_cast<Real>(1 << (idx.dmax - (idx.dmin + s)));
+        if (dense_mode_[static_cast<std::size_t>(s)] == kModeQuad)
+          f.dc = fd::dense_output_quadratic(
+              (ts - dense_t0_[static_cast<std::size_t>(s)]) / dtp, dtp);
+        else
+          f.dc = fd::dense_output_linear(
+              ts - dense_t0_[static_cast<std::size_t>(s)]);
+      }
+    }
+
+    const BssnState* kprev = (j > 0) ? &k_[j - 1] : nullptr;
+    runtime_.launch_range(
+        "subcycle-fill", nd, 0, kNumVars, /*grain=*/1,
+        [&](std::int64_t vb, std::int64_t ve, OpCounts& c) {
+          for (int v = static_cast<int>(vb); v < static_cast<int>(ve); ++v) {
+            Real* sv = stage_.field(v);
+            const Real* uv = state_.field(v);
+            const Real* u0v = dense_u0_.field(v);
+            const Real* k1v = dense_k1_.field(v);
+            const Real* kv = kprev ? kprev->field(v) : nullptr;
+            for (std::size_t d = 0; d < nd; ++d) {
+              const FillCoef& f = tab[static_cast<std::size_t>(
+                  static_cast<int>(dd[d]) - idx.dmin)];
+              switch (f.mode) {
+                case FillCoef::kCopy:
+                  sv[d] = uv[d];
+                  break;
+                case FillCoef::kRkAxpy:
+                  sv[d] = uv[d] + f.a * kv[d];
+                  break;
+                case FillCoef::kDense:
+                  sv[d] = fd::dense_output_eval(f.dc, u0v[d], uv[d], k1v[d]);
+                  break;
+              }
+            }
+          }
+          const std::uint64_t n = std::uint64_t(ve - vb) * nd;
+          c.flops += 5 * n;
+          c.bytes_read += 4 * n * sizeof(Real);
+          c.bytes_written += n * sizeof(Real);
+        });
+
+    compute_rhs(stage_, k_[j], runs);
+
+    if (j == 0 && !idx.uniform()) {
+      runtime_.launch_range(
+          "subcycle-save", nd, 0, kNumVars, /*grain=*/1,
+          [&](std::int64_t vb, std::int64_t ve, OpCounts& c) {
+            for (int v = static_cast<int>(vb); v < static_cast<int>(ve);
+                 ++v) {
+              Real* u0v = dense_u0_.field(v);
+              Real* k1v = dense_k1_.field(v);
+              const Real* uv = state_.field(v);
+              const Real* kv = k_[0].field(v);
+              for (std::size_t d = 0; d < nd; ++d) {
+                if (static_cast<int>(dd[d]) != depth) continue;
+                u0v[d] = uv[d];
+                k1v[d] = kv[d];
+              }
+            }
+            const std::uint64_t n = std::uint64_t(ve - vb) * nd;
+            c.bytes_read += 2 * n * sizeof(Real);
+            c.bytes_written += 2 * n * sizeof(Real);
+          });
+    }
+  }
+
+  // Final combination restricted to this depth's DOFs; per-element
+  // rounding order matches the CPU path (and rk4_step's axpy sequence).
+  const Real a16 = dt / 6.0;
+  const Real a13 = dt / 3.0;
+  runtime_.launch_range(
+      "subcycle-update", nd, 0, kNumVars, /*grain=*/1,
+      [&](std::int64_t vb, std::int64_t ve, OpCounts& c) {
+        for (int v = static_cast<int>(vb); v < static_cast<int>(ve); ++v) {
+          Real* uv = state_.field(v);
+          const Real* k0v = k_[0].field(v);
+          const Real* k1v = k_[1].field(v);
+          const Real* k2v = k_[2].field(v);
+          const Real* k3v = k_[3].field(v);
+          for (std::size_t d = 0; d < nd; ++d) {
+            if (static_cast<int>(dd[d]) != depth) continue;
+            uv[d] += a16 * k0v[d];
+            uv[d] += a13 * k1v[d];
+            uv[d] += a13 * k2v[d];
+            uv[d] += a16 * k3v[d];
+          }
+        }
+        const std::uint64_t n = std::uint64_t(ve - vb) * nd;
+        c.flops += 8 * n;
+        c.bytes_read += 5 * n * sizeof(Real);
+        c.bytes_written += n * sizeof(Real);
+      });
+
+  if (!idx.uniform()) {
+    dense_t0_[static_cast<std::size_t>(slot)] = time_;
+    dense_mode_[static_cast<std::size_t>(slot)] = kModeQuad;
+  }
+}
+
+void GpuBssnSolver::subcycle_cycle(Real fine_dt) {
+  DGR_CHECK(fine_dt > 0);
+  const mesh::SubcycleIndex& idx = subcycle_index();
+  if (!idx.uniform() && !dense_ready_) subcycle_bootstrap();
+  const int cycle = idx.cycle();
+  for (int s = 0; s < cycle; ++s) {
+    for (int d = idx.active_cutoff(s); d <= idx.dmax; ++d)
+      subcycle_step_depth(d, fine_dt);
+    time_ += fine_dt;
+  }
 }
 
 std::vector<gw::SphereModes> GpuBssnSolver::extract_waves(

@@ -16,6 +16,7 @@
 #include "codegen/fused_rhs.hpp"
 #include "gw/extract.hpp"
 #include "mesh/mesh.hpp"
+#include "mesh/subcycle_index.hpp"
 #include "simgpu/runtime.hpp"
 
 namespace dgr::simgpu {
@@ -53,6 +54,18 @@ class GpuBssnSolver {
   void rk4_step(Real dt);
   void rk4_step() { rk4_step(suggested_dt()); }
 
+  /// One depth-local sub-cycled coarse step (= subcycle_index().cycle()
+  /// fine substeps), entirely "on device" — the device mirror of
+  /// solver::BssnCtx::subcycle_cycle, bitwise identical state evolution
+  /// with each sweep recorded as a kernel ("subcycle-fill"/"subcycle-save"/
+  /// "subcycle-update" plus the restricted RHS pipeline), so the machine
+  /// model prices the reduced work of local timestepping.
+  void subcycle_cycle(Real fine_dt);
+
+  /// Per-depth octant/DOF decomposition of the mesh (built lazily; the
+  /// mesh of a GpuBssnSolver is immutable, so it is built at most once).
+  const mesh::SubcycleIndex& subcycle_index();
+
   /// Wave extraction on the asynchronous stream (Algorithm 1: "the host
   /// uses asynchronous streams to extract the gravitational waves").
   std::vector<gw::SphereModes> extract_waves(const gw::WaveExtractor& ex);
@@ -62,9 +75,13 @@ class GpuBssnSolver {
 
  private:
   void compute_rhs(const bssn::BssnState& u, bssn::BssnState& rhs);
+  void compute_rhs(const bssn::BssnState& u, bssn::BssnState& rhs,
+                   const std::vector<std::pair<OctIndex, OctIndex>>& runs);
   void launch_axpy(const char* name, bssn::BssnState& y, Real s,
                    const bssn::BssnState& x, bool assign_from_base,
                    const bssn::BssnState* base);
+  void subcycle_step_depth(int depth, Real fine_dt);
+  void subcycle_bootstrap();
 
   std::shared_ptr<mesh::Mesh> mesh_;
   GpuSolverConfig config_;
@@ -78,6 +95,17 @@ class GpuBssnSolver {
   std::vector<codegen::FusedWorkspace> fws_;
   std::vector<Real> patch_in_, patch_out_;
   Real time_ = 0;
+
+  // Depth-local sub-cycling state, mirroring solver::BssnCtx: the retained
+  // step-start state / first RHS per depth for dense-output ghost fill.
+  // Allocated (and accounted as device memory) on first sub-cycled use; an
+  // upload() or a global-dt step invalidates the retained stages.
+  std::unique_ptr<mesh::SubcycleIndex> subidx_;
+  bssn::BssnState dense_u0_, dense_k1_;
+  std::vector<Real> dense_t0_;
+  std::vector<std::uint8_t> dense_mode_;
+  bool dense_ready_ = false;
+  bool dense_alloc_ = false;
 };
 
 }  // namespace dgr::simgpu

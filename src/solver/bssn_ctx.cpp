@@ -236,6 +236,9 @@ void BssnCtx::rk4_step(Real dt) {
 
   time_ += dt;
   ++steps_;
+  // A global-dt step desynchronizes the retained dense stages (they cover
+  // the interval before it); the next sub-cycled cycle re-bootstraps.
+  dense_ready_ = false;
 }
 
 void BssnCtx::evolve_steps(int n) {
@@ -256,6 +259,8 @@ void BssnCtx::remesh(std::shared_ptr<mesh::Mesh> new_mesh) {
   state_ = std::move(next);
   for (auto& k : k_) k.resize(mesh_->num_dofs());
   stage_.resize(mesh_->num_dofs());
+  subidx_.reset();
+  dense_ready_ = false;
 }
 
 BssnState transfer_state(const mesh::Mesh& src_mesh, const BssnState& src,

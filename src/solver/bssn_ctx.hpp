@@ -16,6 +16,7 @@
 #include "common/counters.hpp"
 #include "common/timer.hpp"
 #include "mesh/mesh.hpp"
+#include "mesh/subcycle_index.hpp"
 
 namespace dgr::solver {
 
@@ -117,6 +118,20 @@ class BssnCtx {
   void rk4_step(Real dt);
   void rk4_step() { rk4_step(suggested_dt()); }
 
+  /// Depth-local sub-cycled stepping (solver/subcycle.cpp). One call
+  /// advances every octant by one coarse step = subcycle_index().cycle()
+  /// fine substeps of `fine_dt`: at each substep the due depth suffix
+  /// steps coarsest-first, each depth running a full RK4 restricted to its
+  /// octant runs, with every other depth's DOFs dense-output-interpolated
+  /// to the stage times (fd/dense_output.hpp). Bitwise deterministic at
+  /// any thread count and SIMD width; on a uniform mesh the arithmetic
+  /// degenerates to exactly rk4_step(fine_dt).
+  void subcycle_cycle(Real fine_dt);
+
+  /// The per-depth octant/DOF decomposition of the current mesh (built
+  /// lazily, invalidated by remesh()).
+  const mesh::SubcycleIndex& subcycle_index();
+
   /// Advance n steps.
   void evolve_steps(int n);
 
@@ -148,6 +163,12 @@ class BssnCtx {
   }
 
  private:
+  /// Full RK4 step of the depth-d octant runs against dense-output ghost
+  /// data, advancing only depth-d DOFs (defined in subcycle.cpp).
+  void subcycle_step_depth(int depth, Real fine_dt);
+  /// First-order dense bootstrap: one full-mesh RHS at the current time.
+  void subcycle_bootstrap();
+
   std::shared_ptr<mesh::Mesh> mesh_;
   SolverConfig config_;
   bssn::BssnState state_;
@@ -157,6 +178,14 @@ class BssnCtx {
   PhaseBreakdown phases_;
   OpCounts counts_;
   RhsPipeline pipeline_;
+
+  // Depth-local sub-cycling state (allocated on first subcycle_cycle; a
+  // global-dt step or a remesh invalidates the retained dense stages).
+  std::unique_ptr<mesh::SubcycleIndex> subidx_;
+  bssn::BssnState dense_u0_, dense_k1_;
+  std::vector<Real> dense_t0_;            // per depth, absolute step start
+  std::vector<std::uint8_t> dense_mode_;  // per depth: linear or quadratic
+  bool dense_ready_ = false;
 };
 
 /// Transfer all 24 fields of `src` (on `src_mesh`) to a state on

@@ -8,13 +8,21 @@ namespace dgr::solver {
 
 void PunctureTracker::step(const mesh::Mesh& mesh,
                            const bssn::BssnState& state, Real dt) {
+  // RK2 (explicit midpoint) on dx/dt = -beta(x): a half step locates the
+  // midpoint, whose shift advances the full step. Both samples read the
+  // same end-of-step field — the tracker is a diagnostic and the shift
+  // varies slowly over one dt, so the spatial midpoint correction is what
+  // buys the accuracy order, not the temporal one.
   mesh::PointSampler sampler(mesh);
+  const Real* fields[3] = {state.field(bssn::kBeta0),
+                           state.field(bssn::kBeta1),
+                           state.field(bssn::kBeta2)};
   for (auto& pos : positions_) {
     Real beta[3];
-    const Real* fields[3] = {state.field(bssn::kBeta0),
-                             state.field(bssn::kBeta1),
-                             state.field(bssn::kBeta2)};
     sampler.evaluate_many(fields, 3, pos[0], pos[1], pos[2], beta);
+    Real mid[3];
+    for (int a = 0; a < 3; ++a) mid[a] = pos[a] - 0.5 * dt * beta[a];
+    sampler.evaluate_many(fields, 3, mid[0], mid[1], mid[2], beta);
     for (int a = 0; a < 3; ++a) pos[a] -= dt * beta[a];
   }
 }
@@ -59,19 +67,84 @@ EvolutionResult evolve(BssnCtx& ctx, const EvolutionConfig& config,
     }
   }
 
-  while (ctx.time() < config.t_end - 1e-12) {
-    // One re-grid window of f_r steps (Algorithm 1 lines 5-10).
-    for (int i = 0; i < config.regrid_every && ctx.time() < config.t_end;
-         ++i) {
-      const Real dt =
-          std::min(ctx.suggested_dt(), config.t_end - ctx.time());
-      {
-        obs::ScopedSpan step_span("rk4_step", "solver");
-        ctx.rk4_step(dt);
+  if (!config.subcycle) {
+    while (ctx.time() < config.t_end - 1e-12) {
+      // One re-grid window of f_r steps (Algorithm 1 lines 5-10).
+      for (int i = 0; i < config.regrid_every && ctx.time() < config.t_end;
+           ++i) {
+        const Real dt =
+            std::min(ctx.suggested_dt(), config.t_end - ctx.time());
+        {
+          obs::ScopedSpan step_span("rk4_step", "solver");
+          ctx.rk4_step(dt);
+        }
+        ++result.steps;
+        record_step_metrics(ctx);
+        if (tracker) tracker->step(ctx.mesh(), ctx.state(), dt);
+        if (extractor && result.steps % config.extract_every == 0) {
+          obs::ScopedSpan extract_span("wave-extract", "solver");
+          const auto modes = extractor->extract_from_state(
+              ctx.mesh(), ctx.state(), ctx.config().bssn);
+          for (std::size_t r = 0; r < modes.size(); ++r)
+            result.waves22[r].append(ctx.time(), modes[r].mode(2, 2));
+        }
+        if (on_step) on_step(ctx);
       }
-      ++result.steps;
+      // Re-grid (Algorithm 1 line 3): the host-side synchronization point.
+      if (ctx.time() < config.t_end - 1e-12) {
+        obs::ScopedSpan regrid_span("regrid", "solver");
+        auto next = regrid_mesh(ctx.mesh(), ctx.state(), config.regrid);
+        if (next) {
+          ctx.remesh(next);
+          ++result.regrids;
+          obs::count("solver.regrids");
+        }
+      }
+    }
+    if (tracker) result.final_punctures = tracker->positions();
+    return result;
+  }
+
+  // Sub-cycled evolution: advance in full cycles of 2^(dmax - dmin) fine
+  // substeps. Depths are only time-aligned at cycle boundaries, so the
+  // tracker, wave extraction and regrid fire there and nowhere else — a
+  // cadence that straddles a cycle would sample mid-cycle state and is
+  // rejected. The cycle length can change across a regrid, so cadences are
+  // re-validated per window.
+  while (ctx.time() < config.t_end - 1e-12) {
+    const int cycle = ctx.subcycle_index().cycle();
+    DGR_CHECK_MSG(config.regrid_every % cycle == 0,
+                  "subcycle: regrid_every=" << config.regrid_every
+                                            << " must be a multiple of the "
+                                               "cycle length "
+                                            << cycle);
+    if (extractor)
+      DGR_CHECK_MSG(config.extract_every % cycle == 0,
+                    "subcycle: extract_every="
+                        << config.extract_every
+                        << " must be a multiple of the cycle length "
+                        << cycle << " (mid-cycle wave sampling)");
+    for (int i = 0;
+         i < config.regrid_every && ctx.time() < config.t_end - 1e-12;) {
+      const Real dt = ctx.suggested_dt();
+      Real tracker_dt;
+      if (config.t_end - ctx.time() < cycle * dt - 1e-12) {
+        // Tail shorter than one full cycle: finish with clamped global-dt
+        // steps (every depth stays aligned through them).
+        tracker_dt = std::min(dt, config.t_end - ctx.time());
+        obs::ScopedSpan step_span("rk4_step", "solver");
+        ctx.rk4_step(tracker_dt);
+        ++result.steps;
+        ++i;
+      } else {
+        tracker_dt = cycle * dt;
+        obs::ScopedSpan cycle_span("subcycle", "solver");
+        ctx.subcycle_cycle(dt);
+        result.steps += cycle;
+        i += cycle;
+      }
       record_step_metrics(ctx);
-      if (tracker) tracker->step(ctx.mesh(), ctx.state(), dt);
+      if (tracker) tracker->step(ctx.mesh(), ctx.state(), tracker_dt);
       if (extractor && result.steps % config.extract_every == 0) {
         obs::ScopedSpan extract_span("wave-extract", "solver");
         const auto modes = extractor->extract_from_state(
@@ -81,7 +154,6 @@ EvolutionResult evolve(BssnCtx& ctx, const EvolutionConfig& config,
       }
       if (on_step) on_step(ctx);
     }
-    // Re-grid (Algorithm 1 line 3): the host-side synchronization point.
     if (ctx.time() < config.t_end - 1e-12) {
       obs::ScopedSpan regrid_span("regrid", "solver");
       auto next = regrid_mesh(ctx.mesh(), ctx.state(), config.regrid);

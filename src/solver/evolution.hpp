@@ -16,7 +16,9 @@
 namespace dgr::solver {
 
 /// Punctures move opposite the shift: dx/dt = -beta(x) (moving-puncture
-/// gauge). The tracker integrates this with forward Euler at each step.
+/// gauge). The tracker integrates this with RK2 (explicit midpoint): both
+/// shift samples are taken on the end-of-step field, so the update stays a
+/// pure diagnostic — state and waveform are untouched by the tracker.
 class PunctureTracker {
  public:
   explicit PunctureTracker(std::vector<std::array<Real, 3>> positions)
@@ -36,8 +38,17 @@ class PunctureTracker {
 struct EvolutionConfig {
   Real t_end = 1.0;
   int regrid_every = 16;    ///< f_r of Algorithm 1
-  int extract_every = 4;    ///< wave-extraction cadence (paper: every 16)
+  int extract_every = 16;   ///< wave-extraction cadence (paper: every 16)
   RegridConfig regrid;
+  /// Depth-local sub-cycled timestepping (BssnCtx::subcycle_cycle): octants
+  /// at depth d advance with dt_d = lambda h_min 2^(dmax - d) instead of
+  /// every octant paying the finest dt. Off by default — global-dt runs
+  /// are bitwise unchanged. When on, regrid_every (and extract_every, if
+  /// extraction is enabled) must be multiples of the cycle length
+  /// 2^(dmax - dmin): regrid, puncture tracking and wave extraction only
+  /// fire on full-cycle boundaries where all depths are time-aligned, and
+  /// mid-cycle sampling is rejected.
+  bool subcycle = false;
   /// Extraction sphere radii; empty disables extraction.
   std::vector<Real> extraction_radii;
   int lmax = 2;
