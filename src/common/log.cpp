@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/clock.hpp"
+#include "common/error.hpp"
 #include "common/json.hpp"
 
 namespace dgr::log {
@@ -27,7 +28,16 @@ const char* level_name(Level l) {
 Level level_from_env() {
   const char* e = std::getenv("DGR_LOG");
   if (!e || !*e) return Level::kWarn;
-  return parse_level(e, Level::kWarn);
+  // Strict knob: an unknown DGR_LOG token throws instead of silently
+  // logging at the kWarn default (parse_level keeps its fallback form for
+  // CLI callers that supply their own default). A valid token parses the
+  // same under any fallback; only garbage echoes the fallback back.
+  const Level a = parse_level(e, Level::kWarn);
+  const Level b = parse_level(e, Level::kError);
+  DGR_CHECK_MSG(a == b,
+                "DGR_LOG must be one of debug|info|warn|error|off, got \""
+                    << e << "\"");
+  return a;
 }
 }  // namespace
 

@@ -4,20 +4,12 @@
 #include <cstdlib>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 
 namespace dgr::exec {
 
 int parse_thread_count(const char* s, const char* what) {
-  DGR_CHECK_MSG(s != nullptr && *s != '\0',
-                what << " expects a positive integer, got an empty value");
-  errno = 0;
-  char* end = nullptr;
-  const long n = std::strtol(s, &end, 10);
-  DGR_CHECK_MSG(errno == 0 && end != s && *end == '\0',
-                what << " expects a positive integer, got \"" << s << "\"");
-  DGR_CHECK_MSG(n >= 1 && n <= 4096,
-                what << " must be in [1, 4096], got " << n);
-  return static_cast<int>(n);
+  return static_cast<int>(dgr::parse_count(s, what, 1, 4096));
 }
 
 namespace {

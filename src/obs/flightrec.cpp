@@ -15,6 +15,7 @@
 
 #include "common/json.hpp"
 #include "common/log.hpp"
+#include "common/parse.hpp"
 
 namespace dgr::obs::flightrec {
 
@@ -51,11 +52,11 @@ State& state() {
 
 std::size_t capacity_bytes_locked(State& s) {
   if (s.capacity_bytes == 0) {
-    s.capacity_bytes = kDefaultBytes;
-    if (const char* e = std::getenv("DGR_FLIGHTREC_KB")) {
-      const long kb = std::atol(e);
-      if (kb > 0) s.capacity_bytes = std::size_t(kb) * 1024;
-    }
+    // Strict knob: a typo'd DGR_FLIGHTREC_KB throws at first use instead of
+    // silently recording into the default-sized ring (std::atol returned 0
+    // for garbage, which the old code treated as "unset").
+    const long kb = dgr::env_count("DGR_FLIGHTREC_KB", 0, 1, 1L << 32);
+    s.capacity_bytes = kb > 0 ? std::size_t(kb) * 1024 : kDefaultBytes;
   }
   return s.capacity_bytes;
 }

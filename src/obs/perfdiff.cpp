@@ -233,9 +233,13 @@ int run_cli(int argc, char** argv) {
         std::fprintf(stderr, "error: --threshold requires a value\n");
         return 2;
       }
+      // Reject empty values, trailing garbage, negatives, and non-finite
+      // forms ("nan"/"inf" satisfy strtod and are not < 0 — a nan
+      // threshold silently disables every gate comparison).
       char* tail = nullptr;
       opt.threshold_pct = std::strtod(argv[++i], &tail);
-      if (!tail || *tail || opt.threshold_pct < 0) {
+      if (!tail || tail == argv[i] || *tail ||
+          !std::isfinite(opt.threshold_pct) || opt.threshold_pct < 0) {
         std::fprintf(stderr, "error: bad --threshold '%s'\n", argv[i]);
         return 2;
       }

@@ -13,37 +13,22 @@
 
 #include "common/error.hpp"
 #include "common/json.hpp"
+#include "common/parse.hpp"
 
 namespace dgr::serve {
 
+// Thin forwards: the strict-knob discipline that started here now lives in
+// common/parse.cpp, shared by every DGR_* knob and CLI flag in the tree.
 long parse_count(const char* s, const char* what, long lo, long hi) {
-  DGR_CHECK_MSG(s != nullptr && *s != '\0',
-                what << " expects an integer, got an empty value");
-  long v = 0;
-  const char* end = s + std::strlen(s);
-  const auto r = std::from_chars(s, end, v, 10);
-  DGR_CHECK_MSG(r.ec == std::errc() && r.ptr == end,
-                what << " expects an integer, got \"" << s << "\"");
-  DGR_CHECK_MSG(v >= lo && v <= hi, what << " must be in [" << lo << ", "
-                                         << hi << "], got " << v);
-  return v;
+  return dgr::parse_count(s, what, lo, hi);
 }
 
 double parse_real(const char* s, const char* what) {
-  DGR_CHECK_MSG(s != nullptr && *s != '\0',
-                what << " expects a number, got an empty value");
-  double v = 0;
-  const char* end = s + std::strlen(s);
-  const auto r = std::from_chars(s, end, v);
-  DGR_CHECK_MSG(r.ec == std::errc() && r.ptr == end,
-                what << " expects a number, got \"" << s << "\"");
-  return v;
+  return dgr::parse_real(s, what);
 }
 
 long env_count(const char* name, long fallback, long lo, long hi) {
-  const char* e = std::getenv(name);
-  if (!e) return fallback;
-  return parse_count(e, name, lo, hi);
+  return dgr::env_count(name, fallback, lo, hi);
 }
 
 std::string to_hex(const std::string& bytes) {

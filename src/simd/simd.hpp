@@ -29,6 +29,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 
 #if defined(DGR_SIMD_AVX2) && defined(__AVX2__)
@@ -270,15 +271,19 @@ inline const char* simd_march() {
 
 /// Active dispatch width: `DGR_SIMD=scalar` forces 1, `DGR_SIMD=avx2`
 /// forces 4 (the generic 4-wide fallback when AVX2 was not compiled in),
-/// default is the native width. Read once and cached — set the environment
-/// variable before the first kernel runs.
+/// default is the native width. Any other value throws dgr::Error at first
+/// use — a typo'd DGR_SIMD must not silently run at the native width.
+/// Read once and cached — set the environment variable before the first
+/// kernel runs.
 inline int simd_active_width() {
   static const int w = [] {
     const char* e = std::getenv("DGR_SIMD");
     if (e == nullptr || *e == '\0') return kSimdNativeWidth;
     if (std::strcmp(e, "scalar") == 0) return 1;
     if (std::strcmp(e, "avx2") == 0) return 4;
-    return kSimdNativeWidth;
+    DGR_CHECK_MSG(false, "DGR_SIMD must be one of scalar|avx2, got \"" << e
+                                                                      << "\"");
+    return kSimdNativeWidth;  // unreachable
   }();
   return w;
 }

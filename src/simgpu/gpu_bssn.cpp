@@ -2,10 +2,8 @@
 
 #include <algorithm>
 
-#include "codegen/bssn_graph.hpp"
 #include "common/error.hpp"
-#include "exec/parallel.hpp"
-#include "fd/dense_output.hpp"
+#include "exec_space/bssn_sweeps.hpp"
 #include "gw/psi4.hpp"
 
 namespace dgr::simgpu {
@@ -19,43 +17,39 @@ std::uint64_t state_bytes(const mesh::Mesh& m) {
   return std::uint64_t(m.num_dofs()) * kNumVars * sizeof(Real);
 }
 
-constexpr std::uint8_t kModeLinear = 0;
-constexpr std::uint8_t kModeQuad = 1;
-
-/// RK4 stage-time fractions (stage j evaluates at t0 + c_j dt).
-constexpr Real kStageC[4] = {0.0, 0.5, 0.5, 1.0};
-
-/// Per-depth stage-fill recipe, identical to the solver-side subcycle.cpp
-/// so the device mirror reproduces the CPU arithmetic bitwise.
-struct FillCoef {
-  enum Mode : int { kCopy, kRkAxpy, kDense };
-  Mode mode = kCopy;
-  Real a = 0;
-  fd::DenseCoeffs dc;
-};
+/// The host pipeline configuration equivalent to a GpuSolverConfig: same
+/// params, chunking and SIMD width; the device kernels always unzip by
+/// looping over octants (one block per octant).
+solver::SolverConfig pipeline_config(const GpuSolverConfig& c) {
+  solver::SolverConfig s;
+  s.bssn = c.bssn;
+  s.cfl = c.cfl;
+  s.chunk_octants = c.chunk_octants;
+  s.unzip_method = mesh::UnzipMethod::kLoopOverOctants;
+  s.rhs_kernel = c.fused_simd_rhs ? solver::RhsKernel::kStagedFusedSimd
+                                  : solver::RhsKernel::kCompiled;
+  s.simd_width = c.simd_width;
+  return s;
+}
 }  // namespace
 
 GpuBssnSolver::GpuBssnSolver(std::shared_ptr<mesh::Mesh> mesh,
                              GpuSolverConfig config, perf::MachineModel model)
-    : mesh_(std::move(mesh)), config_(config), runtime_(std::move(model)) {
+    : mesh_(std::move(mesh)),
+      config_(config),
+      runtime_(std::move(model)),
+      space_(exec_space::ExecSpace::simgpu(runtime_)),
+      pipeline_(mesh_, pipeline_config(config), space_) {
   DGR_CHECK(mesh_ != nullptr);
   state_.resize(mesh_->num_dofs());
   stage_.resize(mesh_->num_dofs());
   for (auto& k : k_) k.resize(mesh_->num_dofs());
-  // Device allocations: 6 state-sized vectors + the chunked patch buffers.
+  // Device allocations: 6 state-sized vectors + the chunked patch buffers
+  // (owned by the pipeline, priced here).
   runtime_.device_alloc(6 * state_bytes(*mesh_));
   const std::size_t cap =
       std::size_t(config_.chunk_octants) * kNumVars * kPatchPts;
-  patch_in_.resize(cap);
-  patch_out_.resize(cap);
   runtime_.device_alloc(2 * cap * sizeof(Real));
-  if (config_.fused_simd_rhs) {
-    const auto g = codegen::build_bssn_algebra_graph(
-        config_.bssn.lambda_f0, config_.bssn.eta, config_.bssn.ko_sigma);
-    fused_kernel_ = std::make_unique<codegen::CompiledKernel>(
-        g.graph, std::vector<std::int32_t>(g.outputs.begin(), g.outputs.end()),
-        codegen::Strategy::kStagedCse);
-  }
 }
 
 void GpuBssnSolver::upload(const bssn::BssnState& state) {
@@ -80,121 +74,34 @@ void GpuBssnSolver::compute_rhs(const BssnState& u, BssnState& rhs) {
 void GpuBssnSolver::compute_rhs(
     const BssnState& u, BssnState& rhs,
     const std::vector<std::pair<OctIndex, OctIndex>>& runs) {
-  const auto in = u.cptrs();
-  const auto out = rhs.ptrs();
-  const Real half = mesh_->domain().half_extent;
-  if (static_cast<int>(ws_.size()) < exec::lanes())
-    ws_.resize(exec::lanes());
-  if (fused_kernel_ && static_cast<int>(fws_.size()) < exec::lanes())
-    fws_.resize(exec::lanes());
-
   // Halo exchange (Algorithm 1 line 6): on a single simulated device the
-  // partition is whole, so only the (empty) kernel is recorded.
+  // partition is whole, so only the (empty) kernel is recorded. The
+  // pipeline then runs the shared octant-to-patch / bssn-rhs /
+  // patch-to-octant sweep bodies on the simgpu space — each a recorded
+  // kernel launch, restricted runs keeping launches, op counts and modeled
+  // time proportional to live work.
   runtime_.launch("halo-exchange", 1, 0, [&](OpCounts&) {});
-
-  // Each launch body is data-parallel over the host pool (launch_range).
-  // The split axes are chosen so chunk OpCounts sum exactly to the serial
-  // counts: octant-to-patch splits by VARIABLE (unzip_slice — per-var work
-  // is independent; an octant-range split would re-count shared prolonged
-  // sources), RHS and patch-to-octant split by octant (per-octant work and
-  // per-owner-DOF writes are disjoint). Restricting the runs (sub-cycling)
-  // keeps launches, op counts and modeled time proportional to live work.
-  for (const auto& run : runs) {
-  DGR_CHECK(run.first >= 0 &&
-            run.second <= static_cast<OctIndex>(mesh_->num_octants()));
-  for (OctIndex begin = run.first; begin < run.second;
-       begin += config_.chunk_octants) {
-    const OctIndex end =
-        std::min<OctIndex>(begin + config_.chunk_octants, run.second);
-
-    runtime_.launch_range(
-        "octant-to-patch", std::uint64_t(end - begin) * kNumVars, 0, kNumVars,
-        /*grain=*/4, [&](std::int64_t vb, std::int64_t ve, OpCounts& c) {
-          mesh_->unzip_slice(in.data(), kNumVars, static_cast<int>(vb),
-                             static_cast<int>(ve), begin, end,
-                             patch_in_.data(),
-                             mesh::UnzipMethod::kLoopOverOctants, &c);
-        });
-
-    runtime_.launch_range(
-        "bssn-rhs", std::uint64_t(end - begin), 0, end - begin,
-        /*grain=*/4, [&](std::int64_t eb, std::int64_t ee, OpCounts& c) {
-          bssn::DerivWorkspace& ws = ws_[exec::this_lane()];
-          for (OctIndex e = begin + static_cast<OctIndex>(eb);
-               e < begin + static_cast<OctIndex>(ee); ++e) {
-            const std::size_t base =
-                std::size_t(e - begin) * kNumVars * kPatchPts;
-            const Real* pin[kNumVars];
-            Real* pout[kNumVars];
-            for (int v = 0; v < kNumVars; ++v) {
-              pin[v] = &patch_in_[base + v * kPatchPts];
-              pout[v] = &patch_out_[base + v * kPatchPts];
-            }
-            if (fused_kernel_) {
-              codegen::bssn_rhs_patch_fused(
-                  pin, pout, mesh_->patch_geom(e), half, config_.bssn,
-                  *fused_kernel_, fws_[exec::this_lane()], &c,
-                  config_.simd_width);
-            } else {
-              bssn::bssn_rhs_patch(pin, pout, mesh_->patch_geom(e), half,
-                                   config_.bssn, ws, &c);
-            }
-          }
-        });
-
-    runtime_.launch_range(
-        "patch-to-octant", std::uint64_t(end - begin) * kNumVars, 0,
-        end - begin,
-        /*grain=*/8, [&](std::int64_t eb, std::int64_t ee, OpCounts& c) {
-          const OctIndex b = begin + static_cast<OctIndex>(eb);
-          const OctIndex e = begin + static_cast<OctIndex>(ee);
-          mesh_->zip(patch_out_.data() +
-                         std::size_t(eb) * kNumVars * kPatchPts,
-                     kNumVars, b, e, out.data(), &c);
-        });
-  }
-  }
-}
-
-void GpuBssnSolver::launch_axpy(const char* name, BssnState& y, Real s,
-                                const BssnState& x, bool assign_from_base,
-                                const BssnState* base) {
-  // Parallel over variables: each chunk updates whole fields, so writes are
-  // disjoint and the per-element arithmetic is unchanged from the serial
-  // state-level axpy (bitwise-identical results at any thread count).
-  const std::size_t nd = mesh_->num_dofs();
-  runtime_.launch_range(
-      name, nd, 0, kNumVars, /*grain=*/1,
-      [&](std::int64_t vb, std::int64_t ve, OpCounts& c) {
-        for (int v = static_cast<int>(vb); v < static_cast<int>(ve); ++v) {
-          Real* yv = y.field(v);
-          const Real* xv = x.field(v);
-          if (assign_from_base) {
-            const Real* bv = base->field(v);
-            for (std::size_t d = 0; d < nd; ++d) yv[d] = bv[d] + s * xv[d];
-          } else {
-            for (std::size_t d = 0; d < nd; ++d) yv[d] += s * xv[d];
-          }
-        }
-        const std::uint64_t n = std::uint64_t(ve - vb) * nd;
-        c.flops += 2 * n;
-        c.bytes_read += 2 * n * sizeof(Real);
-        c.bytes_written += n * sizeof(Real);
-      });
+  pipeline_.compute(u, rhs, runs, nullptr, nullptr);
 }
 
 void GpuBssnSolver::rk4_step(Real dt) {
   compute_rhs(state_, k_[0]);
-  launch_axpy("axpy", stage_, 0.5 * dt, k_[0], true, &state_);
+  exec_space::sweep_rk4_axpy(space_, stage_, 0.5 * dt, k_[0], &state_,
+                             nullptr);
   compute_rhs(stage_, k_[1]);
-  launch_axpy("axpy", stage_, 0.5 * dt, k_[1], true, &state_);
+  exec_space::sweep_rk4_axpy(space_, stage_, 0.5 * dt, k_[1], &state_,
+                             nullptr);
   compute_rhs(stage_, k_[2]);
-  launch_axpy("axpy", stage_, dt, k_[2], true, &state_);
+  exec_space::sweep_rk4_axpy(space_, stage_, dt, k_[2], &state_, nullptr);
   compute_rhs(stage_, k_[3]);
-  launch_axpy("axpy", state_, dt / 6.0, k_[0], false, nullptr);
-  launch_axpy("axpy", state_, dt / 3.0, k_[1], false, nullptr);
-  launch_axpy("axpy", state_, dt / 3.0, k_[2], false, nullptr);
-  launch_axpy("axpy", state_, dt / 6.0, k_[3], false, nullptr);
+  exec_space::sweep_rk4_axpy(space_, state_, dt / 6.0, k_[0], nullptr,
+                             nullptr);
+  exec_space::sweep_rk4_axpy(space_, state_, dt / 3.0, k_[1], nullptr,
+                             nullptr);
+  exec_space::sweep_rk4_axpy(space_, state_, dt / 3.0, k_[2], nullptr,
+                             nullptr);
+  exec_space::sweep_rk4_axpy(space_, state_, dt / 6.0, k_[3], nullptr,
+                             nullptr);
   time_ += dt;
   dense_ready_ = false;
 }
@@ -218,147 +125,28 @@ void GpuBssnSolver::subcycle_bootstrap() {
   dense_u0_.resize(nd);
   dense_k1_.resize(nd);
   dense_t0_.assign(static_cast<std::size_t>(idx.depths()), time_);
-  dense_mode_.assign(static_cast<std::size_t>(idx.depths()), kModeLinear);
+  dense_mode_.assign(static_cast<std::size_t>(idx.depths()),
+                     exec_space::kDenseModeLinear);
   compute_rhs(state_, dense_k1_);
-  runtime_.launch_range(
-      "subcycle-save", nd, 0, kNumVars, /*grain=*/1,
-      [&](std::int64_t vb, std::int64_t ve, OpCounts& c) {
-        for (int v = static_cast<int>(vb); v < static_cast<int>(ve); ++v) {
-          const Real* uv = state_.field(v);
-          std::copy(uv, uv + nd, dense_u0_.field(v));
-        }
-        const std::uint64_t n = std::uint64_t(ve - vb) * nd;
-        c.bytes_read += n * sizeof(Real);
-        c.bytes_written += n * sizeof(Real);
-      });
+  exec_space::sweep_dense_save_all(space_, state_, dense_u0_, nullptr);
   dense_ready_ = true;
 }
 
 void GpuBssnSolver::subcycle_step_depth(int depth, Real fine_dt) {
-  const mesh::SubcycleIndex& idx = *subidx_;
-  const int slot = depth - idx.dmin;
-  const Real dt = fine_dt * static_cast<Real>(1 << (idx.dmax - depth));
-  const auto& runs = idx.runs[static_cast<std::size_t>(slot)];
-  const std::size_t nd = mesh_->num_dofs();
-  const std::uint8_t* dd = idx.dof_depth.data();
-  const int nslots = idx.depths();
-
-  for (int j = 0; j < 4; ++j) {
-    // Stage fill, identical arithmetic to solver/subcycle.cpp (see the
-    // rationale there): stepping depth takes the exact RK stage AXPY,
-    // every other depth a dense-output evaluation at the stage time.
-    const Real ts = time_ + kStageC[j] * dt;
-    std::vector<FillCoef> tab(static_cast<std::size_t>(nslots));
-    for (int s = 0; s < nslots; ++s) {
-      FillCoef& f = tab[static_cast<std::size_t>(s)];
-      if (s == slot) {
-        if (j == 0) {
-          f.mode = FillCoef::kCopy;
-        } else {
-          f.mode = FillCoef::kRkAxpy;
-          f.a = kStageC[j] * dt;
-        }
-      } else {
-        f.mode = FillCoef::kDense;
-        const Real dtp =
-            fine_dt * static_cast<Real>(1 << (idx.dmax - (idx.dmin + s)));
-        if (dense_mode_[static_cast<std::size_t>(s)] == kModeQuad)
-          f.dc = fd::dense_output_quadratic(
-              (ts - dense_t0_[static_cast<std::size_t>(s)]) / dtp, dtp);
-        else
-          f.dc = fd::dense_output_linear(
-              ts - dense_t0_[static_cast<std::size_t>(s)]);
-      }
-    }
-
-    const BssnState* kprev = (j > 0) ? &k_[j - 1] : nullptr;
-    runtime_.launch_range(
-        "subcycle-fill", nd, 0, kNumVars, /*grain=*/1,
-        [&](std::int64_t vb, std::int64_t ve, OpCounts& c) {
-          for (int v = static_cast<int>(vb); v < static_cast<int>(ve); ++v) {
-            Real* sv = stage_.field(v);
-            const Real* uv = state_.field(v);
-            const Real* u0v = dense_u0_.field(v);
-            const Real* k1v = dense_k1_.field(v);
-            const Real* kv = kprev ? kprev->field(v) : nullptr;
-            for (std::size_t d = 0; d < nd; ++d) {
-              const FillCoef& f = tab[static_cast<std::size_t>(
-                  static_cast<int>(dd[d]) - idx.dmin)];
-              switch (f.mode) {
-                case FillCoef::kCopy:
-                  sv[d] = uv[d];
-                  break;
-                case FillCoef::kRkAxpy:
-                  sv[d] = uv[d] + f.a * kv[d];
-                  break;
-                case FillCoef::kDense:
-                  sv[d] = fd::dense_output_eval(f.dc, u0v[d], uv[d], k1v[d]);
-                  break;
-              }
-            }
-          }
-          const std::uint64_t n = std::uint64_t(ve - vb) * nd;
-          c.flops += 5 * n;
-          c.bytes_read += 4 * n * sizeof(Real);
-          c.bytes_written += n * sizeof(Real);
-        });
-
-    compute_rhs(stage_, k_[j], runs);
-
-    if (j == 0 && !idx.uniform()) {
-      runtime_.launch_range(
-          "subcycle-save", nd, 0, kNumVars, /*grain=*/1,
-          [&](std::int64_t vb, std::int64_t ve, OpCounts& c) {
-            for (int v = static_cast<int>(vb); v < static_cast<int>(ve);
-                 ++v) {
-              Real* u0v = dense_u0_.field(v);
-              Real* k1v = dense_k1_.field(v);
-              const Real* uv = state_.field(v);
-              const Real* kv = k_[0].field(v);
-              for (std::size_t d = 0; d < nd; ++d) {
-                if (static_cast<int>(dd[d]) != depth) continue;
-                u0v[d] = uv[d];
-                k1v[d] = kv[d];
-              }
-            }
-            const std::uint64_t n = std::uint64_t(ve - vb) * nd;
-            c.bytes_read += 2 * n * sizeof(Real);
-            c.bytes_written += 2 * n * sizeof(Real);
-          });
-    }
-  }
-
-  // Final combination restricted to this depth's DOFs; per-element
-  // rounding order matches the CPU path (and rk4_step's axpy sequence).
-  const Real a16 = dt / 6.0;
-  const Real a13 = dt / 3.0;
-  runtime_.launch_range(
-      "subcycle-update", nd, 0, kNumVars, /*grain=*/1,
-      [&](std::int64_t vb, std::int64_t ve, OpCounts& c) {
-        for (int v = static_cast<int>(vb); v < static_cast<int>(ve); ++v) {
-          Real* uv = state_.field(v);
-          const Real* k0v = k_[0].field(v);
-          const Real* k1v = k_[1].field(v);
-          const Real* k2v = k_[2].field(v);
-          const Real* k3v = k_[3].field(v);
-          for (std::size_t d = 0; d < nd; ++d) {
-            if (static_cast<int>(dd[d]) != depth) continue;
-            uv[d] += a16 * k0v[d];
-            uv[d] += a13 * k1v[d];
-            uv[d] += a13 * k2v[d];
-            uv[d] += a16 * k3v[d];
-          }
-        }
-        const std::uint64_t n = std::uint64_t(ve - vb) * nd;
-        c.flops += 8 * n;
-        c.bytes_read += 5 * n * sizeof(Real);
-        c.bytes_written += n * sizeof(Real);
-      });
-
-  if (!idx.uniform()) {
-    dense_t0_[static_cast<std::size_t>(slot)] = time_;
-    dense_mode_[static_cast<std::size_t>(slot)] = kModeQuad;
-  }
+  // The shared depth-local RK4 body (exec_space/bssn_sweeps.cpp) on the
+  // simgpu space: the fill/save/update sweeps record as the
+  // "subcycle-fill"/"subcycle-save"/"subcycle-update" kernels, the
+  // restricted RHS goes through compute_rhs (halo-exchange + pipeline).
+  const exec_space::SubcycleState st{&state_,    &stage_,     k_,
+                                     &dense_u0_, &dense_k1_,  &dense_t0_,
+                                     &dense_mode_};
+  exec_space::subcycle_step_depth(
+      space_, *subidx_, depth, fine_dt, time_, st,
+      [&](const BssnState& u, BssnState& k,
+          const std::vector<exec_space::OctRange>& runs) {
+        compute_rhs(u, k, runs);
+      },
+      nullptr, nullptr, nullptr);
 }
 
 void GpuBssnSolver::subcycle_cycle(Real fine_dt) {

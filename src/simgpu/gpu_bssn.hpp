@@ -13,11 +13,12 @@
 
 #include "bssn/rhs.hpp"
 #include "bssn/state.hpp"
-#include "codegen/fused_rhs.hpp"
+#include "exec_space/exec_space.hpp"
 #include "gw/extract.hpp"
 #include "mesh/mesh.hpp"
 #include "mesh/subcycle_index.hpp"
 #include "simgpu/runtime.hpp"
+#include "solver/bssn_ctx.hpp"
 
 namespace dgr::simgpu {
 
@@ -77,23 +78,19 @@ class GpuBssnSolver {
   void compute_rhs(const bssn::BssnState& u, bssn::BssnState& rhs);
   void compute_rhs(const bssn::BssnState& u, bssn::BssnState& rhs,
                    const std::vector<std::pair<OctIndex, OctIndex>>& runs);
-  void launch_axpy(const char* name, bssn::BssnState& y, Real s,
-                   const bssn::BssnState& x, bool assign_from_base,
-                   const bssn::BssnState* base);
   void subcycle_step_depth(int depth, Real fine_dt);
   void subcycle_bootstrap();
 
   std::shared_ptr<mesh::Mesh> mesh_;
   GpuSolverConfig config_;
   GpuRuntime runtime_;
+  /// The device execution space (every sweep records into runtime_) and
+  /// the SAME chunked unzip -> RHS -> zip pipeline the host solver runs —
+  /// one kernel body per sweep family, instantiated here on the simgpu
+  /// backend.
+  exec_space::ExecSpace space_;
+  solver::RhsPipeline pipeline_;
   bssn::BssnState state_, stage_, k_[4];
-  /// One derivative workspace per pool lane: kernel bodies run on pool
-  /// workers (launch_range) and index this by exec::this_lane().
-  std::vector<bssn::DerivWorkspace> ws_;
-  /// Fused-kernel state (only populated when config.fused_simd_rhs).
-  std::unique_ptr<codegen::CompiledKernel> fused_kernel_;
-  std::vector<codegen::FusedWorkspace> fws_;
-  std::vector<Real> patch_in_, patch_out_;
   Real time_ = 0;
 
   // Depth-local sub-cycling state, mirroring solver::BssnCtx: the retained

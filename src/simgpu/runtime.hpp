@@ -13,12 +13,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <new>
 #include <string>
 #include <vector>
 
 #include "common/counters.hpp"
+#include "common/error.hpp"
 #include "common/timer.hpp"
 #include "exec/parallel.hpp"
 #include "obs/obs.hpp"
@@ -38,12 +40,24 @@ class ScratchArena {
     std::uint64_t requests = 0;     ///< get<T>() calls served
   };
 
+  /// Largest single request the arena will serve. Well above any real use;
+  /// the bound exists so the alignment bump and the block-end pointer math
+  /// in take() can never overflow std::size_t and hand back a pointer into
+  /// (or past) a block that is too small.
+  static constexpr std::size_t kMaxRequestBytes =
+      std::numeric_limits<std::size_t>::max() / 2;
+
   /// `n` default-constructed T slots, 64-byte aligned (slots written by
   /// different worker lanes must not share a cache line). Valid until the
-  /// next reset().
+  /// next reset(). Throws dgr::Error when the request exceeds the arena's
+  /// representable capacity (element-count * sizeof(T) or the alignment
+  /// round-up would overflow).
   template <class T>
   T* get(std::size_t n) {
     ++stats_.requests;
+    DGR_CHECK_MSG(n <= kMaxRequestBytes / sizeof(T),
+                  "ScratchArena capacity exceeded: " << n << " slots of "
+                      << sizeof(T) << " bytes overflow the request limit");
     const std::size_t bytes = align_up(n * sizeof(T));
     unsigned char* p = take(bytes);
     T* out = reinterpret_cast<T*>(p);
@@ -68,7 +82,16 @@ class ScratchArena {
   const Stats& stats() const { return stats_; }
 
  private:
-  static std::size_t align_up(std::size_t n) { return (n + 63) & ~std::size_t(63); }
+  /// Overflow-checked round-up to the 64-byte slot alignment. The caller
+  /// (get<T>) has already bounded the raw byte count by kMaxRequestBytes,
+  /// so the +63 bump cannot wrap; the check is kept here as a hard
+  /// capacity-exceeded error in case a future caller bypasses get<T>.
+  static std::size_t align_up(std::size_t n) {
+    DGR_CHECK_MSG(n <= kMaxRequestBytes,
+                  "ScratchArena capacity exceeded: aligning a " << n
+                      << "-byte request would overflow");
+    return (n + 63) & ~std::size_t(63);
+  }
 
   /// First offset >= off whose absolute address is 64-byte aligned (the
   /// block's base address need not be).
@@ -81,14 +104,20 @@ class ScratchArena {
   unsigned char* take(std::size_t bytes) {
     while (block_ < blocks_.size()) {
       unsigned char* base = blocks_[block_].data();
+      const std::size_t size = blocks_[block_].size();
       const std::size_t start = aligned_offset(base, used_);
-      if (start + bytes <= blocks_[block_].size()) {
+      // Overflow-safe form of `start + bytes <= size`: the alignment bump
+      // may push `start` past the block end, and `start + bytes` must not
+      // wrap around before the comparison (a wrapped sum would hand back a
+      // pointer into a block that is far too small).
+      if (start <= size && bytes <= size - start) {
         used_ = start + bytes;
         return base + start;
       }
       ++block_;
       used_ = 0;
     }
+    // bytes <= kMaxRequestBytes (align_up), so +64 cannot overflow.
     blocks_.emplace_back(std::max<std::size_t>(bytes + 64, 4096));
     ++stats_.heap_allocs;
     block_ = blocks_.size() - 1;
@@ -198,10 +227,13 @@ class GpuRuntime {
   /// per-launch model input are bitwise identical to a serial launch() that
   /// does the same work — thread count never leaks into modeled times.
   /// Chunks of one launch must write disjoint outputs; the launch itself is
-  /// still a single sequential record update on the caller.
+  /// still a single sequential record update on the caller. When `out` is
+  /// non-null the chunk-order-merged counts are also accumulated into it
+  /// (the exec_space layer routes solver-side OpCounts through this).
   template <class F>
   void launch_range(const std::string& name, std::uint64_t blocks, int stream,
-                    std::int64_t n, std::int64_t grain, F&& body) {
+                    std::int64_t n, std::int64_t grain, F&& body,
+                    OpCounts* out = nullptr) {
     KernelRecord& rec = records_[name];
     WallTimer t;
     scratch_.reset();
@@ -218,6 +250,7 @@ class GpuRuntime {
     }
     OpCounts c;
     for (std::int64_t i = 0; i < nc; ++i) c += slots[i];
+    if (out) *out += c;
     rec.host_seconds += t.seconds();
     rec.counts += c;
     rec.per_launch.push_back(c);

@@ -5,7 +5,7 @@
 
 #include "codegen/bssn_graph.hpp"
 #include "common/error.hpp"
-#include "exec/parallel.hpp"
+#include "exec_space/bssn_sweeps.hpp"
 #include "mesh/sampling.hpp"
 #include "obs/obs.hpp"
 
@@ -13,69 +13,15 @@ namespace dgr::solver {
 
 using bssn::BssnState;
 using bssn::kNumVars;
+using exec_space::ExecSpace;
 using mesh::kPatchPts;
 
-namespace {
-
-/// Run body(b, e, OpCounts&) over fixed-grain chunks of [0, n) on the pool
-/// and fold the per-chunk counts into *counts in chunk order — the same
-/// totals a serial sweep accumulates (integer sums), at any thread count.
-template <class Body>
-void par_counted(std::int64_t n, std::int64_t grain, OpCounts* counts,
-                 const char* label, Body&& body) {
-  const std::int64_t nc = exec::num_chunks(0, n, grain);
-  std::vector<OpCounts> slots(static_cast<std::size_t>(nc));
-  exec::for_each_chunk(
-      0, n, grain,
-      [&](std::int64_t c, std::int64_t b, std::int64_t e) {
-        body(b, e, slots[static_cast<std::size_t>(c)]);
-      },
-      label);
-  if (counts)
-    for (const OpCounts& s : slots) *counts += s;
-}
-
-/// y += s * x over all variables, parallel per variable. Whole fields per
-/// chunk keep writes disjoint and the per-element arithmetic identical to
-/// BssnState::axpy — bitwise-equal results at any thread count.
-void par_axpy(BssnState& y, Real s, const BssnState& x) {
-  const std::size_t nd = y.num_dofs();
-  exec::parallel_for(
-      0, kNumVars, 1,
-      [&](std::int64_t vb, std::int64_t ve) {
-        for (int v = static_cast<int>(vb); v < static_cast<int>(ve); ++v) {
-          Real* yv = y.field(v);
-          const Real* xv = x.field(v);
-          for (std::size_t d = 0; d < nd; ++d) yv[d] += s * xv[d];
-        }
-      },
-      "update");
-}
-
-/// y = a + s * b over all variables, parallel per variable (see par_axpy).
-void par_set_axpy(BssnState& y, const BssnState& a, Real s,
-                  const BssnState& b) {
-  const std::size_t nd = y.num_dofs();
-  exec::parallel_for(
-      0, kNumVars, 1,
-      [&](std::int64_t vb, std::int64_t ve) {
-        for (int v = static_cast<int>(vb); v < static_cast<int>(ve); ++v) {
-          Real* yv = y.field(v);
-          const Real* av = a.field(v);
-          const Real* bv = b.field(v);
-          for (std::size_t d = 0; d < nd; ++d) yv[d] = av[d] + s * bv[d];
-        }
-      },
-      "update");
-}
-
-}  // namespace
-
 RhsPipeline::RhsPipeline(std::shared_ptr<const mesh::Mesh> mesh,
-                         SolverConfig config)
-    : mesh_(std::move(mesh)), config_(config) {
+                         SolverConfig config, ExecSpace space)
+    : mesh_(std::move(mesh)), config_(config), space_(space) {
   DGR_CHECK(mesh_ != nullptr);
   DGR_CHECK(config_.chunk_octants > 0);
+  space_.set_vector_policy({config_.simd_width});
   const std::size_t cap =
       static_cast<std::size_t>(config_.chunk_octants) * kNumVars * kPatchPts;
   patch_in_.resize(cap);
@@ -99,11 +45,12 @@ void RhsPipeline::compute(const BssnState& u, BssnState& rhs,
                           PhaseBreakdown* phases, OpCounts* counts) {
   const auto in = u.cptrs();
   const auto out = rhs.ptrs();
-  const Real half = mesh_->domain().half_extent;
-  if (static_cast<int>(ws_.size()) < exec::lanes())
-    ws_.resize(exec::lanes());
-  if (fused_kernel_ && static_cast<int>(fws_.size()) < exec::lanes())
-    fws_.resize(exec::lanes());
+  if (static_cast<int>(ws_.size()) < space_.max_lanes())
+    ws_.resize(space_.max_lanes());
+  if (fused_kernel_ && static_cast<int>(fws_.size()) < space_.max_lanes())
+    fws_.resize(space_.max_lanes());
+  const exec_space::RhsDispatch dispatch{&config_.bssn, fused_kernel_.get(),
+                                         &ws_, &fws_};
 
   // Per-call phase durations feed the timing-gated histograms below: the
   // banked PhaseTimer totals are snapshotted here and the deltas observed
@@ -112,11 +59,9 @@ void RhsPipeline::compute(const BssnState& u, BssnState& rhs,
   const double t_rhs0 = phases ? phases->rhs.total_seconds() : 0.0;
   const double t_zip0 = phases ? phases->zip.total_seconds() : 0.0;
 
-  // Each phase of a chunk runs data-parallel on the host pool. Split axes
-  // preserve the serial arithmetic and op counts exactly: unzip splits by
-  // VARIABLE (per-var work is independent; an octant split would re-count
-  // shared prolonged sources), RHS and zip split by octant (disjoint
-  // patches / owner-DOF writes).
+  // Each phase of a chunk is one sweep on space_ (exec_space/bssn_sweeps:
+  // the single kernel bodies shared with the simgpu mirror; see there for
+  // the split-axis / determinism rationale).
   for (const auto& run : runs) {
     DGR_CHECK(run.first >= 0 &&
               run.second <= static_cast<OctIndex>(mesh_->num_octants()));
@@ -126,54 +71,19 @@ void RhsPipeline::compute(const BssnState& u, BssnState& rhs,
           std::min<OctIndex>(begin + config_.chunk_octants, run.second);
 
       if (phases) phases->unzip.start();
-      par_counted(kNumVars, /*grain=*/4, counts, "unzip",
-                  [&](std::int64_t vb, std::int64_t ve, OpCounts& c) {
-                    mesh_->unzip_slice(in.data(), kNumVars,
-                                       static_cast<int>(vb),
-                                       static_cast<int>(ve), begin, end,
-                                       patch_in_.data(), config_.unzip_method,
-                                       &c);
-                  });
+      exec_space::sweep_octant_to_patch(space_, *mesh_, in.data(), begin, end,
+                                        patch_in_.data(), config_.unzip_method,
+                                        counts);
       if (phases) phases->unzip.stop();
 
       if (phases) phases->rhs.start();
-      par_counted(
-          end - begin, /*grain=*/4, counts, "rhs",
-          [&](std::int64_t eb, std::int64_t ee, OpCounts& c) {
-            bssn::DerivWorkspace& ws = ws_[exec::this_lane()];
-            for (OctIndex e = begin + static_cast<OctIndex>(eb);
-                 e < begin + static_cast<OctIndex>(ee); ++e) {
-              const std::size_t base =
-                  static_cast<std::size_t>(e - begin) * kNumVars * kPatchPts;
-              const Real* pin[kNumVars];
-              Real* pout[kNumVars];
-              for (int v = 0; v < kNumVars; ++v) {
-                pin[v] = &patch_in_[base + v * kPatchPts];
-                pout[v] = &patch_out_[base + v * kPatchPts];
-              }
-              if (fused_kernel_) {
-                codegen::bssn_rhs_patch_fused(
-                    pin, pout, mesh_->patch_geom(e), half, config_.bssn,
-                    *fused_kernel_, fws_[exec::this_lane()], &c,
-                    config_.simd_width);
-              } else {
-                bssn::bssn_rhs_patch(pin, pout, mesh_->patch_geom(e), half,
-                                     config_.bssn, ws, &c);
-              }
-            }
-          });
+      exec_space::sweep_rhs(space_, *mesh_, dispatch, begin, end,
+                            patch_in_.data(), patch_out_.data(), counts);
       if (phases) phases->rhs.stop();
 
       if (phases) phases->zip.start();
-      par_counted(end - begin, /*grain=*/8, counts, "zip",
-                  [&](std::int64_t eb, std::int64_t ee, OpCounts& c) {
-                    mesh_->zip(
-                        patch_out_.data() +
-                            static_cast<std::size_t>(eb) * kNumVars *
-                                kPatchPts,
-                        kNumVars, begin + static_cast<OctIndex>(eb),
-                        begin + static_cast<OctIndex>(ee), out.data(), &c);
-                  });
+      exec_space::sweep_patch_to_octant(space_, *mesh_, patch_out_.data(),
+                                        begin, end, out.data(), counts);
       if (phases) phases->zip.stop();
     }
   }
@@ -189,8 +99,12 @@ void RhsPipeline::compute(const BssnState& u, BssnState& rhs,
   }
 }
 
-BssnCtx::BssnCtx(std::shared_ptr<mesh::Mesh> mesh, SolverConfig config)
-    : mesh_(std::move(mesh)), config_(config), pipeline_(mesh_, config) {
+BssnCtx::BssnCtx(std::shared_ptr<mesh::Mesh> mesh, SolverConfig config,
+                 ExecSpace space)
+    : mesh_(std::move(mesh)),
+      config_(config),
+      space_(space),
+      pipeline_(mesh_, config, space) {
   DGR_CHECK(mesh_ != nullptr);
   state_.resize(mesh_->num_dofs());
   for (auto& k : k_) k.resize(mesh_->num_dofs());
@@ -209,29 +123,37 @@ void BssnCtx::compute_rhs(const BssnState& u, BssnState& rhs) {
 
 void BssnCtx::rk4_step(Real dt) {
   // Classical RK4: k1 = F(u), k2 = F(u + dt/2 k1), k3 = F(u + dt/2 k2),
-  // k4 = F(u + dt k3), u += dt/6 (k1 + 2 k2 + 2 k3 + k4).
+  // k4 = F(u + dt k3), u += dt/6 (k1 + 2 k2 + 2 k3 + k4). The AXPY sweeps
+  // pass counts == nullptr: the host context has never accumulated update
+  // flops into counts_ (the simgpu mirror records them per kernel).
   compute_rhs(state_, k_[0]);
 
   phases_.update.start();
-  par_set_axpy(stage_, state_, 0.5 * dt, k_[0]);
+  exec_space::sweep_rk4_axpy(space_, stage_, 0.5 * dt, k_[0], &state_,
+                             nullptr);
   phases_.update.stop();
   compute_rhs(stage_, k_[1]);
 
   phases_.update.start();
-  par_set_axpy(stage_, state_, 0.5 * dt, k_[1]);
+  exec_space::sweep_rk4_axpy(space_, stage_, 0.5 * dt, k_[1], &state_,
+                             nullptr);
   phases_.update.stop();
   compute_rhs(stage_, k_[2]);
 
   phases_.update.start();
-  par_set_axpy(stage_, state_, dt, k_[2]);
+  exec_space::sweep_rk4_axpy(space_, stage_, dt, k_[2], &state_, nullptr);
   phases_.update.stop();
   compute_rhs(stage_, k_[3]);
 
   phases_.update.start();
-  par_axpy(state_, dt / 6.0, k_[0]);
-  par_axpy(state_, dt / 3.0, k_[1]);
-  par_axpy(state_, dt / 3.0, k_[2]);
-  par_axpy(state_, dt / 6.0, k_[3]);
+  exec_space::sweep_rk4_axpy(space_, state_, dt / 6.0, k_[0], nullptr,
+                             nullptr);
+  exec_space::sweep_rk4_axpy(space_, state_, dt / 3.0, k_[1], nullptr,
+                             nullptr);
+  exec_space::sweep_rk4_axpy(space_, state_, dt / 3.0, k_[2], nullptr,
+                             nullptr);
+  exec_space::sweep_rk4_axpy(space_, state_, dt / 6.0, k_[3], nullptr,
+                             nullptr);
   phases_.update.stop();
 
   time_ += dt;
@@ -270,9 +192,11 @@ BssnState transfer_state(const mesh::Mesh& src_mesh, const BssnState& src,
   // Parallel over destination DOFs; every DOF is evaluated independently,
   // so chunking changes nothing but wall time. The sampler caches the last
   // loaded octant (stateful), so each chunk carries its own instance.
-  exec::parallel_for(
-      0, static_cast<std::int64_t>(dst_mesh.num_dofs()), /*grain=*/512,
-      [&](std::int64_t db, std::int64_t de) {
+  const std::int64_t nd = static_cast<std::int64_t>(dst_mesh.num_dofs());
+  ExecSpace::host().range_for(
+      {"transfer", "transfer", static_cast<std::uint64_t>(nd), 0}, nd,
+      /*grain=*/512, nullptr,
+      [&](std::int64_t db, std::int64_t de, OpCounts&) {
         mesh::PointSampler sampler(src_mesh);
         std::array<Real, kNumVars> vals;
         for (DofIndex d = static_cast<DofIndex>(db);
@@ -282,8 +206,7 @@ BssnState transfer_state(const mesh::Mesh& src_mesh, const BssnState& src,
                                 vals.data());
           for (int v = 0; v < kNumVars; ++v) out.field(v)[d] = vals[v];
         }
-      },
-      "transfer");
+      });
   return out;
 }
 

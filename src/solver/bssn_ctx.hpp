@@ -15,6 +15,7 @@
 #include "codegen/fused_rhs.hpp"
 #include "common/counters.hpp"
 #include "common/timer.hpp"
+#include "exec_space/exec_space.hpp"
 #include "mesh/mesh.hpp"
 #include "mesh/subcycle_index.hpp"
 
@@ -71,9 +72,14 @@ using OctRange = std::pair<OctIndex, OctIndex>;
 /// outside the runs are left untouched in the output state.
 class RhsPipeline {
  public:
-  RhsPipeline(std::shared_ptr<const mesh::Mesh> mesh, SolverConfig config);
+  /// `space` is where the unzip/RHS/zip sweeps execute (default: the
+  /// process host space, honoring DGR_EXEC_SPACE). The pipeline arithmetic
+  /// is bitwise identical on every backend; only instrumentation differs.
+  RhsPipeline(std::shared_ptr<const mesh::Mesh> mesh, SolverConfig config,
+              exec_space::ExecSpace space = exec_space::ExecSpace::host());
 
   const SolverConfig& config() const { return config_; }
+  const exec_space::ExecSpace& space() const { return space_; }
 
   /// Swap the mesh (after a regrid); buffers are reused.
   void set_mesh(std::shared_ptr<const mesh::Mesh> mesh);
@@ -86,8 +92,9 @@ class RhsPipeline {
  private:
   std::shared_ptr<const mesh::Mesh> mesh_;
   SolverConfig config_;
-  /// One derivative workspace per pool lane: the RHS sweep runs on pool
-  /// workers (src/exec) and indexes this by exec::this_lane().
+  exec_space::ExecSpace space_;
+  /// One derivative workspace per execution lane: the RHS sweep body
+  /// indexes this by TeamMember::lane().
   std::vector<bssn::DerivWorkspace> ws_;
   /// Fused-kernel state (only populated for RhsKernel::kStagedFusedSimd):
   /// the compiled staged+CSE program and one SoA workspace per pool lane.
@@ -98,7 +105,11 @@ class RhsPipeline {
 
 class BssnCtx {
  public:
-  BssnCtx(std::shared_ptr<mesh::Mesh> mesh, SolverConfig config);
+  /// `space` is the execution space every sweep of the context (RHS
+  /// pipeline, RK4 AXPYs, sub-cycled fills) runs in; the default is the
+  /// process host space, honoring the DGR_EXEC_SPACE override.
+  BssnCtx(std::shared_ptr<mesh::Mesh> mesh, SolverConfig config,
+          exec_space::ExecSpace space = exec_space::ExecSpace::host());
 
   const mesh::Mesh& mesh() const { return *mesh_; }
   const SolverConfig& config() const { return config_; }
@@ -171,6 +182,7 @@ class BssnCtx {
 
   std::shared_ptr<mesh::Mesh> mesh_;
   SolverConfig config_;
+  exec_space::ExecSpace space_;
   bssn::BssnState state_;
   bssn::BssnState k_[4], stage_;
   Real time_ = 0;

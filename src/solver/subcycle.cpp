@@ -10,51 +10,28 @@
 /// retains its step-start state u0 and first RHS k1 so neighbors can
 /// evaluate it at intermediate stage times to second order.
 ///
-/// Determinism contract: every sweep below is a fixed-grain parallel_for
-/// with disjoint writes and per-element arithmetic independent of chunk
-/// boundaries — results are bitwise identical at any DGR_THREADS and any
-/// DGR_SIMD width, matching the global-dt path's guarantees. On a uniform
-/// mesh (cycle() == 1) the stage fill reduces to the exact par_set_axpy
+/// The per-depth step itself — stage fill, restricted RHS, dense save,
+/// depth-restricted update — is the shared kernel body of
+/// exec_space/bssn_sweeps.cpp (one body for this context and the simgpu
+/// mirror). Determinism contract: every sweep is a fixed-grain run on the
+/// context's ExecSpace with disjoint writes and per-element arithmetic
+/// independent of chunk boundaries — results are bitwise identical at any
+/// DGR_THREADS, any DGR_SIMD width, and any backend. On a uniform mesh
+/// (cycle() == 1) the stage fill reduces to the exact stage-AXPY
 /// arithmetic of rk4_step and the restricted update to its four sequential
-/// par_axpy roundings, so the sub-cycled step is bitwise identical to the
+/// AXPY roundings, so the sub-cycled step is bitwise identical to the
 /// global step — the degeneracy pin of test_subcycle.
 
-#include <algorithm>
 #include <memory>
 #include <vector>
 
 #include "common/error.hpp"
-#include "exec/parallel.hpp"
-#include "fd/dense_output.hpp"
+#include "exec_space/bssn_sweeps.hpp"
 #include "solver/bssn_ctx.hpp"
 
 namespace dgr::solver {
 
 using bssn::BssnState;
-using bssn::kNumVars;
-
-namespace {
-
-constexpr std::uint8_t kModeLinear = 0;
-constexpr std::uint8_t kModeQuad = 1;
-
-/// RK4 stage-time fractions: stage j evaluates the RHS at t0 + c_j * dt.
-constexpr Real kStageC[4] = {0.0, 0.5, 0.5, 1.0};
-
-/// Per-depth recipe for one stage-fill sweep: how DOFs owned at that depth
-/// are written into the stage buffer.
-struct FillCoef {
-  enum Mode : int {
-    kCopy,    ///< stage = state (stepping depth, first stage)
-    kRkAxpy,  ///< stage = state + a * k_prev (stepping depth, stages 2-4)
-    kDense,   ///< stage = dense output on (u0, state, k1) at the stage time
-  };
-  Mode mode = kCopy;
-  Real a = 0;
-  fd::DenseCoeffs dc;
-};
-
-}  // namespace
 
 const mesh::SubcycleIndex& BssnCtx::subcycle_index() {
   if (!subidx_)
@@ -69,7 +46,8 @@ void BssnCtx::subcycle_bootstrap() {
   dense_u0_.resize(nd);
   dense_k1_.resize(nd);
   dense_t0_.assign(static_cast<std::size_t>(idx.depths()), time_);
-  dense_mode_.assign(static_cast<std::size_t>(idx.depths()), kModeLinear);
+  dense_mode_.assign(static_cast<std::size_t>(idx.depths()),
+                     exec_space::kDenseModeLinear);
   // One full-mesh RHS at the aligned start time seeds the first-order
   // dense output u0 + (t - t0) k1 for every depth. Substep 0 activates
   // every depth (all strides divide 0), so each switches to the quadratic
@@ -77,150 +55,26 @@ void BssnCtx::subcycle_bootstrap() {
   // stepping through substep 0 right after (re)initialization.
   compute_rhs(state_, dense_k1_);
   phases_.update.start();
-  exec::parallel_for(
-      0, kNumVars, 1,
-      [&](std::int64_t vb, std::int64_t ve) {
-        for (int v = static_cast<int>(vb); v < static_cast<int>(ve); ++v) {
-          const Real* uv = state_.field(v);
-          std::copy(uv, uv + nd, dense_u0_.field(v));
-        }
-      },
-      "update");
+  exec_space::sweep_dense_save_all(space_, state_, dense_u0_, nullptr);
   phases_.update.stop();
   dense_ready_ = true;
 }
 
 void BssnCtx::subcycle_step_depth(int depth, Real fine_dt) {
-  const mesh::SubcycleIndex& idx = *subidx_;
-  const int slot = depth - idx.dmin;
-  const Real dt = fine_dt * static_cast<Real>(1 << (idx.dmax - depth));
-  const auto& runs = idx.runs[static_cast<std::size_t>(slot)];
-  const std::size_t nd = mesh_->num_dofs();
-  const std::uint8_t* dd = idx.dof_depth.data();
-  const int nslots = idx.depths();
-
-  for (int j = 0; j < 4; ++j) {
-    // Per-depth fill recipe at this stage's time. The stepping depth uses
-    // the exact RK4 stage arithmetic of rk4_step; every other depth is
-    // dense-output-evaluated at ts. Depths coarser than `depth` already
-    // stepped this substep (coarsest-first order), so their retained
-    // interval covers ts — pure interpolation. Finer depths are
-    // extrapolated by at most two of their intervals (the 2:1 balance
-    // bound); depths further away get fill values the restricted RHS
-    // never reads (unzip halos only reach adjacent levels).
-    const Real ts = time_ + kStageC[j] * dt;
-    std::vector<FillCoef> tab(static_cast<std::size_t>(nslots));
-    for (int s = 0; s < nslots; ++s) {
-      FillCoef& f = tab[static_cast<std::size_t>(s)];
-      if (s == slot) {
-        if (j == 0) {
-          f.mode = FillCoef::kCopy;
-        } else {
-          f.mode = FillCoef::kRkAxpy;
-          f.a = kStageC[j] * dt;
-        }
-      } else {
-        f.mode = FillCoef::kDense;
-        const Real dtp =
-            fine_dt * static_cast<Real>(1 << (idx.dmax - (idx.dmin + s)));
-        if (dense_mode_[static_cast<std::size_t>(s)] == kModeQuad)
-          f.dc = fd::dense_output_quadratic(
-              (ts - dense_t0_[static_cast<std::size_t>(s)]) / dtp, dtp);
-        else
-          f.dc = fd::dense_output_linear(
-              ts - dense_t0_[static_cast<std::size_t>(s)]);
-      }
-    }
-
-    const BssnState* kprev = (j > 0) ? &k_[j - 1] : nullptr;
-    phases_.update.start();
-    exec::parallel_for(
-        0, kNumVars, 1,
-        [&](std::int64_t vb, std::int64_t ve) {
-          for (int v = static_cast<int>(vb); v < static_cast<int>(ve); ++v) {
-            Real* sv = stage_.field(v);
-            const Real* uv = state_.field(v);
-            const Real* u0v = dense_u0_.field(v);
-            const Real* k1v = dense_k1_.field(v);
-            const Real* kv = kprev ? kprev->field(v) : nullptr;
-            for (std::size_t d = 0; d < nd; ++d) {
-              const FillCoef& f = tab[static_cast<std::size_t>(
-                  static_cast<int>(dd[d]) - idx.dmin)];
-              switch (f.mode) {
-                case FillCoef::kCopy:
-                  sv[d] = uv[d];
-                  break;
-                case FillCoef::kRkAxpy:
-                  sv[d] = uv[d] + f.a * kv[d];
-                  break;
-                case FillCoef::kDense:
-                  sv[d] = fd::dense_output_eval(f.dc, u0v[d], uv[d], k1v[d]);
-                  break;
-              }
-            }
-          }
-        },
-        "update");
-    phases_.update.stop();
-
-    pipeline_.compute(stage_, k_[j], runs, &phases_, &counts_);
-
-    if (j == 0 && !idx.uniform()) {
-      // Retain this depth's step-start state and first RHS for its dense
-      // output, before the final update overwrites state_.
-      phases_.update.start();
-      exec::parallel_for(
-          0, kNumVars, 1,
-          [&](std::int64_t vb, std::int64_t ve) {
-            for (int v = static_cast<int>(vb); v < static_cast<int>(ve);
-                 ++v) {
-              Real* u0v = dense_u0_.field(v);
-              Real* k1v = dense_k1_.field(v);
-              const Real* uv = state_.field(v);
-              const Real* kv = k_[0].field(v);
-              for (std::size_t d = 0; d < nd; ++d) {
-                if (static_cast<int>(dd[d]) != depth) continue;
-                u0v[d] = uv[d];
-                k1v[d] = kv[d];
-              }
-            }
-          },
-          "update");
-      phases_.update.stop();
-    }
-  }
-
-  // u += dt/6 k1 + dt/3 k2 + dt/3 k3 + dt/6 k4, restricted to this depth's
-  // DOFs, as four sequential per-element AXPYs — the same rounding order
-  // as rk4_step's four par_axpy calls.
-  const Real a16 = dt / 6.0;
-  const Real a13 = dt / 3.0;
-  phases_.update.start();
-  exec::parallel_for(
-      0, kNumVars, 1,
-      [&](std::int64_t vb, std::int64_t ve) {
-        for (int v = static_cast<int>(vb); v < static_cast<int>(ve); ++v) {
-          Real* uv = state_.field(v);
-          const Real* k0v = k_[0].field(v);
-          const Real* k1v = k_[1].field(v);
-          const Real* k2v = k_[2].field(v);
-          const Real* k3v = k_[3].field(v);
-          for (std::size_t d = 0; d < nd; ++d) {
-            if (static_cast<int>(dd[d]) != depth) continue;
-            uv[d] += a16 * k0v[d];
-            uv[d] += a13 * k1v[d];
-            uv[d] += a13 * k2v[d];
-            uv[d] += a16 * k3v[d];
-          }
-        }
+  const exec_space::SubcycleState st{&state_,    &stage_,     k_,
+                                     &dense_u0_, &dense_k1_,  &dense_t0_,
+                                     &dense_mode_};
+  // The update-class sweeps pass counts == nullptr (the host context has
+  // never accumulated them into counts_); the restricted RHS accumulates
+  // into counts_ through the pipeline, exactly as the global-dt path.
+  exec_space::subcycle_step_depth(
+      space_, *subidx_, depth, fine_dt, time_, st,
+      [&](const BssnState& u, BssnState& k,
+          const std::vector<OctRange>& runs) {
+        pipeline_.compute(u, k, runs, &phases_, &counts_);
       },
-      "update");
-  phases_.update.stop();
-
-  if (!idx.uniform()) {
-    dense_t0_[static_cast<std::size_t>(slot)] = time_;
-    dense_mode_[static_cast<std::size_t>(slot)] = kModeQuad;
-  }
+      nullptr, [&] { phases_.update.start(); },
+      [&] { phases_.update.stop(); });
 }
 
 void BssnCtx::subcycle_cycle(Real fine_dt) {

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstring>
+#include <limits>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -154,6 +156,47 @@ TEST(ScratchArena, RetainsCapacityAcrossResets) {
   }
   EXPECT_EQ(arena.stats().heap_allocs, warm);
   EXPECT_EQ(arena.stats().requests, 4u + 20u);
+}
+
+TEST(ScratchArena, OversizeRequestThrowsCapacityExceeded) {
+  simgpu::ScratchArena arena;
+  // One slot over the representable request limit, and the wrap-around
+  // case where n * sizeof(T) would overflow size_t to a tiny byte count —
+  // both must fail loudly instead of handing back an undersized block.
+  const std::size_t over =
+      simgpu::ScratchArena::kMaxRequestBytes / sizeof(OpCounts) + 1;
+  EXPECT_THROW(arena.get<OpCounts>(over), Error);
+  EXPECT_THROW(arena.get<OpCounts>(std::numeric_limits<std::size_t>::max()),
+               Error);
+  EXPECT_THROW(arena.get<double>(simgpu::ScratchArena::kMaxRequestBytes),
+               Error);
+  // The exact limit is representable for byte-sized elements (the check is
+  // on the request form, not a smaller ad-hoc bound) ... but don't actually
+  // allocate it: the rejected requests above must leave the arena usable.
+  OpCounts* c = arena.get<OpCounts>(4);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c[3].flops, 0u);
+  arena.reset();
+  EXPECT_EQ(arena.get<OpCounts>(4)[0].bytes_read, 0u);
+}
+
+TEST(ScratchArena, BoundarySpillKeepsRequestsDisjoint) {
+  simgpu::ScratchArena arena;
+  // 64 x 256-byte regions overflow the first 4096-byte block several times
+  // over; every region must stay disjoint and intact across the block
+  // spills (the take() pointer math regression: an alignment bump at a
+  // block boundary must move to a fresh block, never wrap within one).
+  std::vector<unsigned char*> ptrs;
+  for (int i = 0; i < 64; ++i) {
+    unsigned char* p = arena.get<unsigned char>(256);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u) << i;
+    std::memset(p, i + 1, 256);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 64; ++i)
+    for (int b = 0; b < 256; b += 61)
+      ASSERT_EQ(int(ptrs[std::size_t(i)][b]), i + 1)
+          << "region " << i << " byte " << b;
 }
 
 TEST(ScratchArena, SlotsAreCacheLineAligned) {

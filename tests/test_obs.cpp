@@ -16,6 +16,7 @@
 #include <cmath>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "bssn/initial_data.hpp"
+#include "common/error.hpp"
 #include "common/json_read.hpp"
 #include "common/log.hpp"
 #include "dist/engine.hpp"
@@ -306,6 +308,24 @@ TEST(Metrics, PrometheusExposition) {
 }
 
 // ------------------------------------------------------ flight recorder --
+
+TEST(FlightRec, CapacityKnobIsStrict) {
+  flightrec::reset();  // re-arm the DGR_FLIGHTREC_KB read
+  ASSERT_EQ(setenv("DGR_FLIGHTREC_KB", "64", 1), 0);
+  EXPECT_EQ(flightrec::capacity_entries(),
+            64u * 1024 / sizeof(flightrec::Entry));
+  // Garbage must throw at first use instead of silently recording into the
+  // default-sized ring (std::atol would have returned 0 for all of these).
+  // A failed read leaves the capacity unset, so each variant re-reads.
+  flightrec::reset();
+  for (const char* bad : {"64MB", "64 ", "x", "", "0", "-4", "4.5"}) {
+    ASSERT_EQ(setenv("DGR_FLIGHTREC_KB", bad, 1), 0);
+    EXPECT_THROW(flightrec::capacity_entries(), Error) << bad;
+  }
+  ASSERT_EQ(unsetenv("DGR_FLIGHTREC_KB"), 0);
+  EXPECT_GT(flightrec::capacity_entries(), 0u);  // default capacity
+  flightrec::reset();
+}
 
 TEST(FlightRec, GoldenDumpWithRingWraparound) {
   flightrec::reset();

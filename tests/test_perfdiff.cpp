@@ -274,6 +274,16 @@ TEST(PerfDiff, CliExitCodesMatchContract) {
   EXPECT_EQ(cli({base}), 2);
   EXPECT_EQ(cli({base, cur, "--threshold", "abc"}), 2);
   EXPECT_EQ(cli({base, cur, "--threshold", "-5"}), 2);
+  // Trailing garbage and non-finite values must be rejected too: strtod
+  // happily parses "5%" as 5 and "nan"/"inf" as non-finite thresholds that
+  // would silently disable (or trip) every gate comparison.
+  EXPECT_EQ(cli({base, cur, "--threshold", "5%"}), 2);
+  EXPECT_EQ(cli({base, cur, "--threshold", "60 "}), 2);
+  EXPECT_EQ(cli({base, cur, "--threshold", ""}), 2);
+  EXPECT_EQ(cli({base, cur, "--threshold", "nan"}), 2);
+  EXPECT_EQ(cli({base, cur, "--threshold", "inf"}), 2);
+  EXPECT_EQ(cli({base, cur, "--threshold", "-inf"}), 2);
+  EXPECT_EQ(cli({base, cur, "--threshold"}), 2);
   EXPECT_EQ(cli({base, cur, "--gate", "(unclosed"}), 2);
   EXPECT_EQ(cli({base, cur, "--bogus"}), 2);
   EXPECT_EQ(cli({"--help"}), 0);
